@@ -1,0 +1,192 @@
+// Command evalsuite regenerates every table and figure of the
+// reproduced paper's evaluation section (Feki & Gabriel, IPPS 2020) on
+// the simulated crill and Ibex platforms:
+//
+//	table1    — Table I: best-overlap-algorithm win counts per benchmark
+//	fig1      — Fig. 1: Tile I/O 1M execution times at two process counts
+//	fig2      — Fig. 2: average positive improvement per algorithm, crill
+//	fig3      — Fig. 3: average positive improvement per algorithm, Ibex
+//	fig4      — Fig. 4: transfer-primitive win counts (+ §IV-B np trend)
+//	breakdown — §IV-A: shuffle vs file-access time split, no-overlap code
+//	all       — everything above
+//
+// Use -full for the extended sweep (larger process counts; slow) and
+// -np to override Fig. 1 / breakdown process counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"collio/internal/exp"
+	"collio/internal/fcoll"
+	"collio/internal/stats"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|breakdown|all")
+		full    = flag.Bool("full", false, "run the extended sweep (slow)")
+		verbose = flag.Bool("v", false, "print per-series progress")
+		npFlag  = flag.String("np", "", "comma-separated process counts for fig1/breakdown (default 64,128; -full 256,576)")
+		runs    = flag.Int("runs", 3, "measurements per series")
+	)
+	flag.Parse()
+
+	sweep := exp.QuickSweep()
+	fig1NP := []int{64, 128}
+	if *full {
+		sweep = exp.FullSweep()
+		fig1NP = []int{256, 576}
+	}
+	sweep.Runs = *runs
+	if *verbose {
+		sweep.Progress = os.Stderr
+	}
+	if *npFlag != "" {
+		fig1NP = nil
+		for _, s := range strings.Split(*npFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fatalf("bad -np value %q", s)
+			}
+			fig1NP = append(fig1NP, n)
+		}
+	}
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+	ran := false
+
+	if want("table1") || want("fig2") || want("fig3") {
+		ran = true
+		res, err := exp.RunTableISweep(sweep)
+		if err != nil {
+			fatalf("table1 sweep: %v", err)
+		}
+		if want("table1") {
+			fmt.Println(res.Wins.Table("TABLE I — number of series in which an overlap algorithm was fastest"))
+			async := 0
+			for _, a := range fcoll.Algorithms {
+				if a.UsesAsyncWrite() {
+					async += res.Wins.TotalFor(a.String())
+				}
+			}
+			fmt.Printf("series: %d; won by an async-write algorithm: %d (%.0f%%); by no-overlap: %d (%.0f%%)\n\n",
+				res.Series, async, 100*float64(async)/float64(res.Series),
+				res.Wins.TotalFor(fcoll.NoOverlap.String()),
+				100*float64(res.Wins.TotalFor(fcoll.NoOverlap.String()))/float64(res.Series))
+		}
+		for _, figure := range []struct {
+			name, pf, title string
+		}{
+			{"fig2", "crill", "FIG. 2 — average positive improvement over no-overlap, crill"},
+			{"fig3", "ibex", "FIG. 3 — average positive improvement over no-overlap, ibex"},
+		} {
+			if !want(figure.name) {
+				continue
+			}
+			im := res.Improvements[figure.pf]
+			head := []string{"Benchmark"}
+			for _, a := range fcoll.Algorithms[1:] {
+				head = append(head, a.String())
+			}
+			var rows [][]string
+			for _, g := range im.Groups() {
+				row := []string{g}
+				for _, a := range fcoll.Algorithms[1:] {
+					if v, ok := im.Average(g, a.String()); ok {
+						row = append(row, fmt.Sprintf("%.1f%%", 100*v))
+					} else {
+						row = append(row, "-")
+					}
+				}
+				rows = append(rows, row)
+			}
+			fmt.Println(stats.RenderTable(figure.title, head, rows))
+			fmt.Println()
+		}
+	}
+
+	if want("fig1") {
+		ran = true
+		pts, err := exp.RunFig1(fig1NP, *runs, progress(*verbose))
+		if err != nil {
+			fatalf("fig1: %v", err)
+		}
+		head := []string{"Platform", "np", "Algorithm", "Min time", "vs no-overlap"}
+		var rows [][]string
+		base := map[string]float64{}
+		for _, p := range pts {
+			key := p.Platform + "/" + strconv.Itoa(p.NProcs)
+			if p.Algorithm == fcoll.NoOverlap.String() {
+				base[key] = float64(p.Min)
+			}
+		}
+		for _, p := range pts {
+			key := p.Platform + "/" + strconv.Itoa(p.NProcs)
+			imp := (base[key] - float64(p.Min)) / base[key]
+			rows = append(rows, []string{
+				p.Platform, strconv.Itoa(p.NProcs), p.Algorithm,
+				p.Min.String(), fmt.Sprintf("%+.1f%%", 100*imp),
+			})
+		}
+		fmt.Println(stats.RenderTable("FIG. 1 — Tile I/O 1M execution time (min of series)", head, rows))
+		fmt.Println()
+	}
+
+	if want("fig4") {
+		ran = true
+		res, err := exp.RunFig4Sweep(sweep)
+		if err != nil {
+			fatalf("fig4: %v", err)
+		}
+		fmt.Println(res.Wins.Table("FIG. 4 — number of series in which a transfer primitive was fastest (Write-Comm-2)"))
+		two := res.Wins.TotalFor(fcoll.TwoSided.String())
+		fmt.Printf("two-sided share: %.0f%% of %d series\n",
+			100*float64(two)/float64(res.Wins.GrandTotal()), res.Wins.GrandTotal())
+		if res.CrillSmallTotal > 0 && res.CrillLargeTotal > 0 {
+			fmt.Printf("crill one-sided wins: np<256: %d/%d; np>=256: %d/%d (§IV-B trend)\n",
+				res.CrillSmallOneSided, res.CrillSmallTotal,
+				res.CrillLargeOneSided, res.CrillLargeTotal)
+		}
+		fmt.Println()
+	}
+
+	if want("breakdown") {
+		ran = true
+		pts, err := exp.RunBreakdown(fig1NP)
+		if err != nil {
+			fatalf("breakdown: %v", err)
+		}
+		head := []string{"Platform", "np", "comm share", "file I/O share"}
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{
+				p.Platform, strconv.Itoa(p.NProcs),
+				fmt.Sprintf("%.0f%%", 100*p.CommShare),
+				fmt.Sprintf("%.0f%%", 100*p.WriteShare),
+			})
+		}
+		fmt.Println(stats.RenderTable("§IV-A — shuffle vs file-access time split (no-overlap, Tile I/O 1M)", head, rows))
+		fmt.Println()
+	}
+
+	if !ran {
+		fatalf("unknown experiment %q (want table1|fig1|fig2|fig3|fig4|breakdown|all)", *which)
+	}
+}
+
+func progress(verbose bool) *os.File {
+	if verbose {
+		return os.Stderr
+	}
+	return nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "evalsuite: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Command iorbench runs the IOR benchmark pattern (1-D contiguous
+// blocks, transfer size = block size, one segment — the configuration
+// of the reproduced paper's §IV) through the simulated collective-write
+// stack and reports per-algorithm timing and bandwidth.
+//
+// Example:
+//
+//	iorbench -platform ibex -np 128 -block 16 -all
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"collio/internal/cli"
+	"collio/internal/workload/ior"
+)
+
+func main() {
+	var c cli.Common
+	c.RegisterFlags()
+	blockMB := flag.Int("block", 16, "block size per rank in MiB (paper: 1024)")
+	segments := flag.Int("segments", 1, "segment count (paper: 1)")
+	flag.Parse()
+
+	cfg := ior.Config{BlockSize: int64(*blockMB) << 20, Segments: *segments}
+	if cfg.BlockSize <= 0 || cfg.Segments <= 0 {
+		cli.Fatal("iorbench", fmt.Errorf("block and segments must be positive"))
+	}
+	if err := c.RunBenchmark(cfg); err != nil {
+		cli.Fatal("iorbench", err)
+	}
+}

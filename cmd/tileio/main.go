@@ -1,0 +1,54 @@
+// Command tileio runs the MPI-TILE-IO benchmark pattern (dense 2-D
+// dataset, one tile per process) through the simulated collective-write
+// stack. The two paper configurations are selectable with -config 256
+// (small fragmented elements) or -config 1M (large contiguous runs);
+// custom geometries are available through -elem/-ex/-ey.
+//
+// Example:
+//
+//	tileio -platform crill -np 144 -config 1M -all
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"collio/internal/cli"
+	"collio/internal/workload/tileio"
+)
+
+func main() {
+	var c cli.Common
+	c.RegisterFlags()
+	config := flag.String("config", "1M", "paper configuration: 256|1M (overridden by -elem/-ex/-ey)")
+	elem := flag.Int64("elem", 0, "element size in bytes (custom geometry)")
+	ex := flag.Int64("ex", 0, "elements per tile in x (custom geometry)")
+	ey := flag.Int64("ey", 0, "elements per tile in y (custom geometry)")
+	flag.Parse()
+
+	var cfg tileio.Config
+	switch *config {
+	case "256":
+		cfg = tileio.Tile256()
+	case "1M":
+		cfg = tileio.Tile1M()
+	default:
+		cli.Fatal("tileio", fmt.Errorf("unknown -config %q (want 256 or 1M)", *config))
+	}
+	if *elem > 0 {
+		cfg.ElemSize = *elem
+		cfg.Label = "tileio-custom"
+	}
+	if *ex > 0 {
+		cfg.ElemsX = *ex
+	}
+	if *ey > 0 {
+		cfg.ElemsY = *ey
+	}
+	nx, ny := tileio.Grid(c.NProcs)
+	fmt.Printf("tile grid : %d x %d tiles of %d x %d elements (%d B each)\n",
+		nx, ny, cfg.ElemsX, cfg.ElemsY, cfg.ElemSize)
+	if err := c.RunBenchmark(cfg); err != nil {
+		cli.Fatal("tileio", err)
+	}
+}

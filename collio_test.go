@@ -1,0 +1,88 @@
+package collio_test
+
+import (
+	"testing"
+
+	"collio"
+)
+
+// TestFacadeQuickstart drives the public API end to end the way the
+// README's quickstart does.
+func TestFacadeQuickstart(t *testing.T) {
+	const nprocs = 8
+	cluster, err := collio.Crill().Instantiate(nprocs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := collio.IOR().Views(nprocs, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := collio.OpenFile(cluster.World, cluster.FS.Open("t"))
+	opts := collio.DefaultOptions()
+	opts.Algorithm = collio.WriteOverlap
+	file.SetCollectiveOptions(opts)
+	results := make([]collio.Result, nprocs)
+	cluster.World.Launch(func(r *collio.Rank) {
+		res, err := file.WriteAll(r, views[0])
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+		}
+		results[r.ID()] = res
+	})
+	cluster.Kernel.Run()
+	if cluster.World.Elapsed() <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	var written int64
+	for _, res := range results {
+		written += res.BytesWritten
+	}
+	if written != views[0].TotalBytes() {
+		t.Fatalf("wrote %d of %d bytes", written, views[0].TotalBytes())
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	m, err := collio.Run(collio.Spec{
+		Platform:  collio.Ibex(),
+		NProcs:    16,
+		Gen:       collio.FlashIO(),
+		Algorithm: collio.WriteComm2Overlap,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Elapsed <= 0 || m.BytesWritten <= 0 {
+		t.Fatalf("degenerate metrics %+v", m)
+	}
+}
+
+func TestFacadeDatatypes(t *testing.T) {
+	sub := collio.Subarray([]int64{4, 4}, []int64{2, 2}, []int64{1, 1}, 8)
+	es := collio.Flatten(sub, 0)
+	if len(es) != 2 {
+		t.Fatalf("extents = %v", es)
+	}
+	v := collio.Vector(3, 1, 2, collio.BytesType(4))
+	if got := collio.Flatten(v, 100); len(got) != 3 || got[0].Off != 100 {
+		t.Fatalf("vector extents = %v", got)
+	}
+	c := collio.Contiguous(4, collio.BytesType(2))
+	if got := collio.Flatten(c, 0); len(got) != 1 || got[0].Len != 8 {
+		t.Fatalf("contiguous extents = %v", got)
+	}
+}
+
+func TestFacadeEnumLists(t *testing.T) {
+	if len(collio.Algorithms) != 5 {
+		t.Fatalf("paper algorithm count = %d", len(collio.Algorithms))
+	}
+	if len(collio.Primitives) != 3 {
+		t.Fatalf("primitive count = %d", len(collio.Primitives))
+	}
+	if len(collio.Platforms()) != 2 {
+		t.Fatal("expected the paper's two platforms")
+	}
+}

@@ -1,0 +1,76 @@
+// Platformstudy: define a custom platform and test how the paper's
+// conclusions shift with the storage/network balance.
+//
+// The paper's conclusion — "overlap algorithms incorporating
+// asynchronous I/O outperform overlapping approaches that only rely on
+// non-blocking communication" — was measured on HDD-era BeeGFS systems.
+// This example builds three variants of the same cluster (slow HDD
+// storage, fast parallel flash, and near-infinite burst-buffer storage)
+// and shows where the overlap window opens and closes.
+//
+//	go run ./examples/platformstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"collio"
+)
+
+func main() {
+	const (
+		nprocs = 64
+		seed   = 3
+	)
+
+	base := collio.Crill()
+	variants := []struct {
+		name    string
+		mutate  func(*collio.Platform)
+		comment string
+	}{
+		{"hdd (paper-era)", func(p *collio.Platform) {},
+			"storage-bound: small overlap window"},
+		{"parallel flash", func(p *collio.Platform) {
+			p.TargetBandwidth = 1.5e9
+			p.TargetPerOp /= 10
+		}, "balanced: overlap pays off most"},
+		{"burst buffer", func(p *collio.Platform) {
+			p.TargetBandwidth = 20e9
+			p.TargetPerOp /= 100
+		}, "network-bound: little left to hide"},
+	}
+
+	gen := collio.TileIO1M()
+	for _, v := range variants {
+		pf := base
+		pf.Name = v.name
+		v.mutate(&pf)
+
+		fmt.Printf("--- %s (%s)\n", v.name, v.comment)
+		var base collio.Time
+		for _, algo := range []collio.Algorithm{collio.NoOverlap, collio.CommOverlap, collio.WriteOverlap} {
+			m, err := collio.Run(collio.Spec{
+				Platform:  pf,
+				NProcs:    nprocs,
+				Gen:       gen,
+				Algorithm: algo,
+				Seed:      seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if algo == collio.NoOverlap {
+				base = m.Elapsed
+			}
+			imp := float64(base-m.Elapsed) / float64(base)
+			fmt.Printf("  %-22v elapsed=%-12v improvement=%+.1f%%\n", algo, m.Elapsed, 100*imp)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The async-write advantage is platform-dependent: it needs a real")
+	fmt.Println("overlap window (comparable shuffle and write phases) to show up —")
+	fmt.Println("the same reason the paper's two clusters behave so differently.")
+}

@@ -1,0 +1,3 @@
+module collio
+
+go 1.22

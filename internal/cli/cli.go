@@ -1,0 +1,172 @@
+// Package cli implements the shared command-line driver of the
+// benchmark tools (iorbench, tileio, flashio): flag handling for
+// platform, process count, overlap algorithm, transfer primitive and
+// series length, plus result formatting in the style of the original
+// benchmarks (bandwidth + timing summary).
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"collio/internal/exp"
+	"collio/internal/fcoll"
+	"collio/internal/platform"
+	"collio/internal/stats"
+	"collio/internal/trace"
+	"collio/internal/workload"
+)
+
+// Common holds the flags shared by all benchmark tools.
+type Common struct {
+	Platform  string
+	NProcs    int
+	Algorithm string
+	Primitive string
+	Runs      int
+	Seed      int64
+	BufferMB  int
+	AllAlgos  bool
+	Read      bool
+	Trace     bool
+}
+
+// RegisterFlags installs the common flags on the default FlagSet.
+func (c *Common) RegisterFlags() {
+	flag.StringVar(&c.Platform, "platform", "crill", "platform model: crill|ibex")
+	flag.IntVar(&c.NProcs, "np", 64, "number of MPI ranks")
+	flag.StringVar(&c.Algorithm, "algo", "write-comm-2-overlap", "overlap algorithm: "+algoList())
+	flag.StringVar(&c.Primitive, "primitive", "two-sided", "shuffle primitive: two-sided|one-sided-fence|one-sided-lock")
+	flag.IntVar(&c.Runs, "runs", 3, "measurements per series")
+	flag.Int64Var(&c.Seed, "seed", 1, "base random seed")
+	flag.IntVar(&c.BufferMB, "buffer", 32, "collective buffer size in MiB")
+	flag.BoolVar(&c.AllAlgos, "all", false, "run every overlap algorithm and compare")
+	flag.BoolVar(&c.Read, "read", false, "run collective reads instead of writes")
+	flag.BoolVar(&c.Trace, "trace", false, "print a per-rank phase timeline of one run")
+}
+
+func algoList() string {
+	var names []string
+	for _, a := range fcoll.AllAlgorithms {
+		names = append(names, a.String())
+	}
+	return strings.Join(names, "|")
+}
+
+// ResolvePlatform maps the -platform flag to a model.
+func (c *Common) ResolvePlatform() (platform.Platform, error) {
+	for _, pf := range platform.Platforms() {
+		if pf.Name == c.Platform {
+			return pf, nil
+		}
+	}
+	return platform.Platform{}, fmt.Errorf("unknown platform %q (want crill or ibex)", c.Platform)
+}
+
+// ResolveAlgorithm maps the -algo flag to an Algorithm.
+func (c *Common) ResolveAlgorithm() (fcoll.Algorithm, error) {
+	for _, a := range fcoll.AllAlgorithms {
+		if a.String() == c.Algorithm {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want %s)", c.Algorithm, algoList())
+}
+
+// ResolvePrimitive maps the -primitive flag to a Primitive.
+func (c *Common) ResolvePrimitive() (fcoll.Primitive, error) {
+	for _, p := range fcoll.Primitives {
+		if p.String() == c.Primitive {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown primitive %q", c.Primitive)
+}
+
+// RunBenchmark executes the generator under the common flags and prints
+// an IOR-style summary. With -all it compares every overlap algorithm.
+func (c *Common) RunBenchmark(gen workload.Generator) error {
+	pf, err := c.ResolvePlatform()
+	if err != nil {
+		return err
+	}
+	prim, err := c.ResolvePrimitive()
+	if err != nil {
+		return err
+	}
+	algos := []fcoll.Algorithm{}
+	if c.AllAlgos {
+		algos = append(algos, fcoll.Algorithms...)
+	} else {
+		a, err := c.ResolveAlgorithm()
+		if err != nil {
+			return err
+		}
+		algos = append(algos, a)
+	}
+
+	total := gen.TotalBytes(c.NProcs)
+	mode := "write"
+	if c.Read {
+		mode = "read"
+	}
+	fmt.Printf("benchmark : %s (collective %s)\n", gen.Name(), mode)
+	fmt.Printf("platform  : %s (%d ranks, %d per node)\n", pf.Name, c.NProcs, pf.RanksPerNode)
+	fmt.Printf("data      : %.1f MiB total (%.1f MiB per rank)\n",
+		float64(total)/(1<<20), float64(total)/float64(c.NProcs)/(1<<20))
+	fmt.Printf("collective: buffer %d MiB, primitive %s, %d-run series\n\n", c.BufferMB, prim, c.Runs)
+
+	head := []string{"Algorithm", "Min", "Mean", "StdDev", "Bandwidth"}
+	var rows [][]string
+	for _, algo := range algos {
+		spec := exp.Spec{
+			Platform:   pf,
+			NProcs:     c.NProcs,
+			Gen:        gen,
+			Algorithm:  algo,
+			Primitive:  prim,
+			BufferSize: int64(c.BufferMB) << 20,
+			Read:       c.Read,
+		}
+		s, err := exp.RunSeries(spec, c.Runs, c.Seed)
+		if err != nil {
+			return err
+		}
+		bw := float64(total) / s.Min().Seconds() / (1 << 20)
+		rows = append(rows, []string{
+			algo.String(), s.Min().String(), s.Mean().String(),
+			fmt.Sprintf("%.2gs", s.StdDev()),
+			fmt.Sprintf("%.1f MiB/s", bw),
+		})
+	}
+	fmt.Println(stats.RenderTable("", head, rows))
+
+	if c.Trace {
+		// One instrumented run with the last algorithm in the table.
+		tr := trace.New()
+		spec := exp.Spec{
+			Platform:   pf,
+			NProcs:     c.NProcs,
+			Gen:        gen,
+			Algorithm:  algos[len(algos)-1],
+			Primitive:  prim,
+			BufferSize: int64(c.BufferMB) << 20,
+			Read:       c.Read,
+			Seed:       c.Seed,
+			Trace:      tr,
+		}
+		if _, err := exp.Execute(spec); err != nil {
+			return err
+		}
+		fmt.Printf("phase timeline (%v):\n%s", algos[len(algos)-1], tr.Timeline(100))
+	}
+	return nil
+}
+
+// Fatal prints err and exits non-zero.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

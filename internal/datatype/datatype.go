@@ -1,0 +1,301 @@
+// Package datatype implements MPI-style derived datatypes and their
+// flattening into (offset, length) extent lists. File views in the
+// collective-write engine — and the IOR / Tile I/O / FLASH I/O workload
+// generators — are expressed as datatypes and flattened before the
+// two-phase planner runs, exactly as ROMIO/OMPIO flatten derived
+// datatypes ahead of collective I/O.
+package datatype
+
+import "fmt"
+
+// Extent is a contiguous byte range [Off, Off+Len) in a file or memory
+// span.
+type Extent struct {
+	Off, Len int64
+}
+
+// End returns the first byte past the extent.
+func (e Extent) End() int64 { return e.Off + e.Len }
+
+// Type describes a data layout: Size bytes of payload spread over
+// Extent bytes of span.
+type Type interface {
+	// Size returns the number of payload bytes the type selects.
+	Size() int64
+	// Span returns the distance from the first to one past the last
+	// selected byte (the MPI "extent").
+	Span() int64
+	// flatten appends the type's extents, displaced by base, to dst.
+	flatten(base int64, dst []Extent) []Extent
+}
+
+// Flatten materialises the extents of t placed at byte offset base,
+// coalescing adjacent ranges.
+func Flatten(t Type, base int64) []Extent {
+	return Coalesce(t.flatten(base, nil))
+}
+
+// Coalesce sorts nothing — extents must already be in ascending offset
+// order, which all Type implementations produce — but merges ranges
+// that touch or overlap.
+func Coalesce(es []Extent) []Extent {
+	if len(es) < 2 {
+		return es
+	}
+	out := es[:1]
+	for _, e := range es[1:] {
+		if e.Len == 0 {
+			continue
+		}
+		last := &out[len(out)-1]
+		if e.Off <= last.End() {
+			if e.End() > last.End() {
+				last.Len = e.End() - last.Off
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TotalLen sums the lengths of es.
+func TotalLen(es []Extent) int64 {
+	var n int64
+	for _, e := range es {
+		n += e.Len
+	}
+	return n
+}
+
+// Validate checks that es is sorted by offset, non-overlapping and has
+// positive lengths.
+func Validate(es []Extent) error {
+	var prevEnd int64 = -1
+	for i, e := range es {
+		if e.Len <= 0 {
+			return fmt.Errorf("datatype: extent %d has non-positive length %d", i, e.Len)
+		}
+		if e.Off < prevEnd {
+			return fmt.Errorf("datatype: extent %d at %d overlaps previous ending %d", i, e.Off, prevEnd)
+		}
+		prevEnd = e.End()
+	}
+	return nil
+}
+
+// ---- Concrete types ----
+
+// contig is count repetitions of elem laid out back to back.
+type contig struct {
+	count int64
+	elem  Type
+}
+
+// Contiguous builds count back-to-back copies of elem
+// (MPI_Type_contiguous).
+func Contiguous(count int64, elem Type) Type {
+	if count < 0 {
+		panic("datatype: negative count")
+	}
+	return contig{count, elem}
+}
+
+// Bytes is a contiguous run of n raw bytes.
+func Bytes(n int64) Type { return bytesT(n) }
+
+type bytesT int64
+
+func (b bytesT) Size() int64 { return int64(b) }
+func (b bytesT) Span() int64 { return int64(b) }
+func (b bytesT) flatten(base int64, dst []Extent) []Extent {
+	if b == 0 {
+		return dst
+	}
+	return append(dst, Extent{base, int64(b)})
+}
+
+func (c contig) Size() int64 { return c.count * c.elem.Size() }
+func (c contig) Span() int64 { return c.count * c.elem.Span() }
+func (c contig) flatten(base int64, dst []Extent) []Extent {
+	for i := int64(0); i < c.count; i++ {
+		dst = c.elem.flatten(base+i*c.elem.Span(), dst)
+	}
+	return dst
+}
+
+// vector is count blocks of blocklen elems, successive blocks separated
+// by stride elems (MPI_Type_vector).
+type vector struct {
+	count, blocklen, stride int64
+	elem                    Type
+}
+
+// Vector builds an MPI_Type_vector: count blocks of blocklen elements,
+// block starts separated by stride elements.
+func Vector(count, blocklen, stride int64, elem Type) Type {
+	if count < 0 || blocklen < 0 {
+		panic("datatype: negative vector shape")
+	}
+	if count > 0 && blocklen > stride {
+		panic("datatype: vector blocks overlap (blocklen > stride)")
+	}
+	return vector{count, blocklen, stride, elem}
+}
+
+func (v vector) Size() int64 { return v.count * v.blocklen * v.elem.Size() }
+func (v vector) Span() int64 {
+	if v.count == 0 {
+		return 0
+	}
+	return ((v.count-1)*v.stride + v.blocklen) * v.elem.Span()
+}
+func (v vector) flatten(base int64, dst []Extent) []Extent {
+	es := v.elem.Span()
+	for i := int64(0); i < v.count; i++ {
+		blockBase := base + i*v.stride*es
+		for j := int64(0); j < v.blocklen; j++ {
+			dst = v.elem.flatten(blockBase+j*es, dst)
+		}
+	}
+	return dst
+}
+
+// hindexed is a list of blocks at explicit byte displacements
+// (MPI_Type_create_hindexed).
+type hindexed struct {
+	blocks []Extent
+	span   int64
+	size   int64
+}
+
+// HIndexed builds a type from explicit (byte displacement, byte length)
+// blocks. Blocks must be in ascending, non-overlapping order.
+func HIndexed(blocks []Extent) Type {
+	if err := Validate(blocks); err != nil {
+		panic(err)
+	}
+	h := hindexed{blocks: append([]Extent(nil), blocks...)}
+	for _, b := range blocks {
+		h.size += b.Len
+		if b.End() > h.span {
+			h.span = b.End()
+		}
+	}
+	return h
+}
+
+func (h hindexed) Size() int64 { return h.size }
+func (h hindexed) Span() int64 { return h.span }
+func (h hindexed) flatten(base int64, dst []Extent) []Extent {
+	for _, b := range h.blocks {
+		dst = append(dst, Extent{base + b.Off, b.Len})
+	}
+	return dst
+}
+
+// subarray selects an n-dimensional box out of an n-dimensional array
+// (MPI_Type_create_subarray, C order: last dimension fastest).
+type subarray struct {
+	sizes, subsizes, starts []int64
+	elemSize                int64
+}
+
+// Subarray builds an MPI_Type_create_subarray in C (row-major) order:
+// the box starts[d] .. starts[d]+subsizes[d] within an array of shape
+// sizes, with elemSize-byte elements.
+func Subarray(sizes, subsizes, starts []int64, elemSize int64) Type {
+	n := len(sizes)
+	if len(subsizes) != n || len(starts) != n || n == 0 {
+		panic("datatype: subarray dimension mismatch")
+	}
+	for d := 0; d < n; d++ {
+		if subsizes[d] < 0 || starts[d] < 0 || starts[d]+subsizes[d] > sizes[d] {
+			panic(fmt.Sprintf("datatype: subarray box out of bounds in dim %d", d))
+		}
+	}
+	if elemSize <= 0 {
+		panic("datatype: subarray element size must be positive")
+	}
+	return subarray{
+		sizes:    append([]int64(nil), sizes...),
+		subsizes: append([]int64(nil), subsizes...),
+		starts:   append([]int64(nil), starts...),
+		elemSize: elemSize,
+	}
+}
+
+func (s subarray) Size() int64 {
+	n := s.elemSize
+	for _, v := range s.subsizes {
+		n *= v
+	}
+	return n
+}
+
+func (s subarray) Span() int64 {
+	n := s.elemSize
+	for _, v := range s.sizes {
+		n *= v
+	}
+	return n
+}
+
+func (s subarray) flatten(base int64, dst []Extent) []Extent {
+	n := len(s.sizes)
+	for _, v := range s.subsizes {
+		if v == 0 {
+			return dst // empty box selects nothing
+		}
+	}
+	// Row length (in bytes) of one contiguous run: the innermost
+	// dimension of the box.
+	runLen := s.subsizes[n-1] * s.elemSize
+	// Strides of each dimension in bytes.
+	strides := make([]int64, n)
+	strides[n-1] = s.elemSize
+	for d := n - 2; d >= 0; d-- {
+		strides[d] = strides[d+1] * s.sizes[d+1]
+	}
+	idx := make([]int64, n-1) // iterate over all dims but the last
+	for {
+		off := base + s.starts[n-1]*s.elemSize
+		for d := 0; d < n-1; d++ {
+			off += (s.starts[d] + idx[d]) * strides[d]
+		}
+		dst = append(dst, Extent{off, runLen})
+		// Odometer increment.
+		d := n - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < s.subsizes[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return dst
+}
+
+// Displaced shifts a type by a byte offset (resized/lb displacement).
+type displaced struct {
+	off  int64
+	elem Type
+}
+
+// Displaced places elem at byte offset off within its span.
+func Displaced(off int64, elem Type) Type {
+	if off < 0 {
+		panic("datatype: negative displacement")
+	}
+	return displaced{off, elem}
+}
+
+func (d displaced) Size() int64 { return d.elem.Size() }
+func (d displaced) Span() int64 { return d.off + d.elem.Span() }
+func (d displaced) flatten(base int64, dst []Extent) []Extent {
+	return d.elem.flatten(base+d.off, dst)
+}

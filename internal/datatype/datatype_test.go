@@ -1,0 +1,233 @@
+package datatype
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesFlatten(t *testing.T) {
+	es := Flatten(Bytes(10), 100)
+	if len(es) != 1 || es[0] != (Extent{100, 10}) {
+		t.Fatalf("extents = %v", es)
+	}
+	if len(Flatten(Bytes(0), 0)) != 0 {
+		t.Fatal("zero bytes produced extents")
+	}
+}
+
+func TestContiguousCoalesces(t *testing.T) {
+	es := Flatten(Contiguous(4, Bytes(8)), 0)
+	if len(es) != 1 || es[0] != (Extent{0, 32}) {
+		t.Fatalf("contiguous-of-bytes should coalesce to one extent, got %v", es)
+	}
+}
+
+func TestVectorShape(t *testing.T) {
+	// 3 blocks of 2 elements, stride 5, element = 4 bytes:
+	// offsets 0..8, 20..28, 40..48.
+	v := Vector(3, 2, 5, Bytes(4))
+	es := Flatten(v, 0)
+	want := []Extent{{0, 8}, {20, 8}, {40, 8}}
+	if len(es) != 3 {
+		t.Fatalf("extents = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("extent %d = %v, want %v", i, es[i], want[i])
+		}
+	}
+	if v.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", v.Size())
+	}
+	if v.Span() != (2*5+2)*4 {
+		t.Fatalf("Span = %d, want %d", v.Span(), (2*5+2)*4)
+	}
+}
+
+func TestVectorStrideEqualsBlocklenCoalesces(t *testing.T) {
+	es := Flatten(Vector(4, 3, 3, Bytes(2)), 10)
+	if len(es) != 1 || es[0] != (Extent{10, 24}) {
+		t.Fatalf("dense vector should coalesce, got %v", es)
+	}
+}
+
+func TestVectorOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping vector accepted")
+		}
+	}()
+	Vector(2, 5, 3, Bytes(1))
+}
+
+func TestHIndexed(t *testing.T) {
+	h := HIndexed([]Extent{{0, 4}, {10, 2}, {20, 6}})
+	if h.Size() != 12 || h.Span() != 26 {
+		t.Fatalf("size/span = %d/%d", h.Size(), h.Span())
+	}
+	es := Flatten(h, 100)
+	want := []Extent{{100, 4}, {110, 2}, {120, 6}}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("extent %d = %v, want %v", i, es[i], want[i])
+		}
+	}
+}
+
+func TestHIndexedRejectsOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping hindexed accepted")
+		}
+	}()
+	HIndexed([]Extent{{0, 10}, {5, 10}})
+}
+
+func TestSubarray2D(t *testing.T) {
+	// 4x6 array of 2-byte elements; box 2x3 starting at (1,2).
+	s := Subarray([]int64{4, 6}, []int64{2, 3}, []int64{1, 2}, 2)
+	if s.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", s.Size())
+	}
+	if s.Span() != 48 {
+		t.Fatalf("Span = %d, want 48", s.Span())
+	}
+	es := Flatten(s, 0)
+	// Row 1: elements (1,2..4) -> bytes 1*12+4 .. +6; row 2: 2*12+4.
+	want := []Extent{{16, 6}, {28, 6}}
+	if len(es) != 2 || es[0] != want[0] || es[1] != want[1] {
+		t.Fatalf("extents = %v, want %v", es, want)
+	}
+}
+
+func TestSubarrayFullBoxIsContiguous(t *testing.T) {
+	s := Subarray([]int64{3, 5}, []int64{3, 5}, []int64{0, 0}, 4)
+	es := Flatten(s, 0)
+	if len(es) != 1 || es[0] != (Extent{0, 60}) {
+		t.Fatalf("full box = %v", es)
+	}
+}
+
+func TestSubarray3D(t *testing.T) {
+	// 2x3x4 of 1-byte; box 1x2x2 at (1,1,1).
+	s := Subarray([]int64{2, 3, 4}, []int64{1, 2, 2}, []int64{1, 1, 1}, 1)
+	es := Flatten(s, 0)
+	// plane 1 (offset 12), rows 1 and 2, columns 1..3:
+	want := []Extent{{12 + 4 + 1, 2}, {12 + 8 + 1, 2}}
+	if len(es) != 2 || es[0] != want[0] || es[1] != want[1] {
+		t.Fatalf("extents = %v, want %v", es, want)
+	}
+}
+
+func TestSubarrayEmptyBox(t *testing.T) {
+	s := Subarray([]int64{4, 4}, []int64{0, 4}, []int64{0, 0}, 1)
+	if es := Flatten(s, 0); len(es) != 0 {
+		t.Fatalf("empty box produced %v", es)
+	}
+}
+
+func TestSubarrayOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds subarray accepted")
+		}
+	}()
+	Subarray([]int64{4}, []int64{3}, []int64{2}, 1)
+}
+
+func TestDisplaced(t *testing.T) {
+	d := Displaced(100, Bytes(5))
+	if d.Span() != 105 || d.Size() != 5 {
+		t.Fatalf("span/size = %d/%d", d.Span(), d.Size())
+	}
+	es := Flatten(d, 1000)
+	if len(es) != 1 || es[0] != (Extent{1100, 5}) {
+		t.Fatalf("extents = %v", es)
+	}
+}
+
+func TestNestedVectorOfSubarray(t *testing.T) {
+	inner := Subarray([]int64{2, 2}, []int64{1, 2}, []int64{0, 0}, 1) // 2 bytes at off 0 of a 4-byte span
+	v := Vector(2, 1, 2, inner)
+	es := Flatten(v, 0)
+	want := []Extent{{0, 2}, {8, 2}}
+	if len(es) != 2 || es[0] != want[0] || es[1] != want[1] {
+		t.Fatalf("extents = %v, want %v", es, want)
+	}
+}
+
+func TestCoalesceMergesTouching(t *testing.T) {
+	es := Coalesce([]Extent{{0, 5}, {5, 5}, {12, 3}, {15, 1}})
+	want := []Extent{{0, 10}, {12, 4}}
+	if len(es) != 2 || es[0] != want[0] || es[1] != want[1] {
+		t.Fatalf("coalesced = %v", es)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]Extent{{0, 5}, {5, 3}}); err != nil {
+		t.Fatalf("touching extents rejected: %v", err)
+	}
+	if err := Validate([]Extent{{0, 5}, {4, 3}}); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if err := Validate([]Extent{{0, 0}}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+// randomType builds a random type tree of bounded depth for property
+// tests.
+func randomType(r *rand.Rand, depth int) Type {
+	if depth == 0 {
+		return Bytes(int64(r.Intn(16) + 1))
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Contiguous(int64(r.Intn(4)+1), randomType(r, depth-1))
+	case 1:
+		bl := int64(r.Intn(3) + 1)
+		stride := bl + int64(r.Intn(3))
+		return Vector(int64(r.Intn(4)+1), bl, stride, randomType(r, depth-1))
+	case 2:
+		rows, cols := int64(r.Intn(4)+1), int64(r.Intn(6)+1)
+		sr, sc := int64(r.Intn(int(rows))+1), int64(r.Intn(int(cols))+1)
+		or, oc := int64(r.Intn(int(rows-sr)+1)), int64(r.Intn(int(cols-sc)+1))
+		return Subarray([]int64{rows, cols}, []int64{sr, sc}, []int64{or, oc}, int64(r.Intn(8)+1))
+	default:
+		return Displaced(int64(r.Intn(32)), randomType(r, depth-1))
+	}
+}
+
+// Property: for any random type, Flatten produces validated extents
+// whose total length equals Size() and whose bounds fit in [base,
+// base+Span()).
+func TestFlattenProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	prop := func(seed int64, base16 uint16) bool {
+		rr := rand.New(rand.NewSource(seed))
+		typ := randomType(rr, 2+rr.Intn(2))
+		base := int64(base16)
+		es := Flatten(typ, base)
+		if err := Validate(es); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		if TotalLen(es) != typ.Size() {
+			t.Logf("total %d != size %d", TotalLen(es), typ.Size())
+			return false
+		}
+		for _, e := range es {
+			if e.Off < base || e.End() > base+typ.Span() {
+				t.Logf("extent %v outside [%d,%d)", e, base, base+typ.Span())
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: r}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

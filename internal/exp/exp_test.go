@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"testing"
+
+	"collio/internal/fcoll"
+	"collio/internal/platform"
+	"collio/internal/stats"
+	"collio/internal/workload/ior"
+	"collio/internal/workload/tileio"
+)
+
+func smallIOR() ior.Config { return ior.Config{BlockSize: 4 << 20, Segments: 1} }
+
+func TestExecuteMetrics(t *testing.T) {
+	m, err := Execute(Spec{
+		Platform:  platform.Crill(),
+		NProcs:    32,
+		Gen:       smallIOR(),
+		Algorithm: fcoll.NoOverlap,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if m.BytesWritten != 32*4<<20 {
+		t.Fatalf("bytes written = %d", m.BytesWritten)
+	}
+	if m.Aggregators != 1 { // 32 ranks fit on one crill node
+		t.Fatalf("aggregators = %d, want 1", m.Aggregators)
+	}
+	if m.Cycles <= 1 {
+		t.Fatalf("cycles = %d, want several (128 MiB domain / 32 MiB buffer)", m.Cycles)
+	}
+	if m.ShuffleTime <= 0 || m.WriteTime <= 0 {
+		t.Fatal("phase accounting missing")
+	}
+}
+
+func TestExecuteRejectsBadSpec(t *testing.T) {
+	if _, err := Execute(Spec{Platform: platform.Crill(), Gen: smallIOR()}); err == nil {
+		t.Fatal("zero NProcs accepted")
+	}
+	if _, err := Execute(Spec{Platform: platform.Crill(), NProcs: 1 << 20, Gen: smallIOR()}); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+}
+
+func TestRunSeriesSeeding(t *testing.T) {
+	spec := Spec{
+		Platform:  platform.Ibex(),
+		NProcs:    16,
+		Gen:       smallIOR(),
+		Algorithm: fcoll.WriteOverlap,
+	}
+	s, err := RunSeries(spec, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Samples) != 3 {
+		t.Fatalf("series length %d", len(s.Samples))
+	}
+	// Ibex run-level noise: the three seeds must differ.
+	if s.Samples[0] == s.Samples[1] && s.Samples[1] == s.Samples[2] {
+		t.Fatal("series samples identical; run noise not applied")
+	}
+	// Reproducibility: same seeds, same series.
+	s2, err := RunSeries(spec, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Samples {
+		if s.Samples[i] != s2.Samples[i] {
+			t.Fatal("series not reproducible")
+		}
+	}
+}
+
+// TestPaperShape asserts the reproduction's headline orderings at one
+// affordable configuration (they hold across the sweep; see
+// EXPERIMENTS.md):
+//
+//  1. every async-write algorithm beats the no-overlap baseline,
+//  2. comm-overlap is the weakest overlap variant (§III-A/§IV-A),
+//  3. crill is slower than ibex in absolute time (§IV).
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	gen := tileio.Config{ElemSize: 1 << 20, ElemsX: 4, ElemsY: 4, Label: "tileio-1M"}
+	times := map[string]map[fcoll.Algorithm]stats.Series{}
+	for _, pf := range platform.Platforms() {
+		times[pf.Name] = map[fcoll.Algorithm]stats.Series{}
+		seed := int64(400)
+		for _, algo := range fcoll.Algorithms {
+			s, err := RunSeries(Spec{Platform: pf, NProcs: 48, Gen: gen, Algorithm: algo}, 2, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times[pf.Name][algo] = s
+			seed += 2
+		}
+	}
+	for _, pf := range []string{"crill", "ibex"} {
+		base := times[pf][fcoll.NoOverlap].Min()
+		for _, algo := range []fcoll.Algorithm{fcoll.WriteOverlap, fcoll.WriteComm2Overlap} {
+			if got := times[pf][algo].Min(); got >= base {
+				t.Errorf("%s: %v (%v) not faster than no-overlap (%v)", pf, algo, got, base)
+			}
+		}
+		commT := times[pf][fcoll.CommOverlap].Min()
+		writeT := times[pf][fcoll.WriteOverlap].Min()
+		if commT <= writeT {
+			t.Errorf("%s: comm-overlap (%v) should trail write-overlap (%v)", pf, commT, writeT)
+		}
+	}
+	if times["crill"][fcoll.NoOverlap].Min() <= times["ibex"][fcoll.NoOverlap].Min() {
+		t.Error("crill should be slower than ibex in absolute time")
+	}
+}
+
+func TestTableISweepTiny(t *testing.T) {
+	cfg := SweepConfig{
+		Platforms:  []platform.Platform{platform.Ibex()},
+		ProcCounts: []int{16},
+		Benchmarks: []BenchCase{
+			{Group: "IOR", Gen: smallIOR()},
+			{Group: "Tile I/O 1M", Gen: tileio.Config{ElemSize: 1 << 20, ElemsX: 2, ElemsY: 2, Label: "t"}},
+		},
+		Runs:     1,
+		SeedBase: 10,
+	}
+	res, err := RunTableISweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series != 2 {
+		t.Fatalf("series = %d, want 2", res.Series)
+	}
+	if res.Wins.GrandTotal() != 2 {
+		t.Fatalf("wins recorded = %d", res.Wins.GrandTotal())
+	}
+	if res.Improvements["ibex"] == nil {
+		t.Fatal("no improvements accumulator for ibex")
+	}
+}
+
+func TestFig1Tiny(t *testing.T) {
+	pts, err := RunFig1([]int{16}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 platforms × 1 np × 5 algorithms.
+	if len(pts) != 10 {
+		t.Fatalf("points = %d, want 10", len(pts))
+	}
+	for _, p := range pts {
+		if p.Min <= 0 {
+			t.Fatalf("point %+v has no time", p)
+		}
+	}
+}
+
+func TestFig4Tiny(t *testing.T) {
+	cfg := SweepConfig{
+		Platforms:  []platform.Platform{platform.Crill()},
+		ProcCounts: []int{16},
+		Benchmarks: []BenchCase{
+			{Group: "IOR", Gen: smallIOR()},
+			{Group: "Flash I/O", Gen: smallIOR()}, // must be skipped
+		},
+		Runs:     1,
+		SeedBase: 20,
+	}
+	res, err := RunFig4Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wins.GrandTotal() != 1 {
+		t.Fatalf("fig4 series = %d, want 1 (Flash excluded)", res.Wins.GrandTotal())
+	}
+	if res.CrillSmallTotal != 1 {
+		t.Fatalf("crill small-np bookkeeping = %d", res.CrillSmallTotal)
+	}
+}
+
+func TestBreakdownShares(t *testing.T) {
+	pts, err := RunBreakdown([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.CommShare <= 0 || p.WriteShare <= 0 {
+			t.Fatalf("%s: degenerate split %+v", p.Platform, p)
+		}
+		if s := p.CommShare + p.WriteShare; s < 0.999 || s > 1.001 {
+			t.Fatalf("%s: shares sum to %v", p.Platform, s)
+		}
+	}
+	// crill must be the more I/O-bound platform (§IV-A).
+	var crill, ibex BreakdownPoint
+	for _, p := range pts {
+		if p.Platform == "crill" {
+			crill = p
+		} else {
+			ibex = p
+		}
+	}
+	if crill.WriteShare <= ibex.WriteShare {
+		t.Errorf("crill io share (%.2f) should exceed ibex (%.2f)", crill.WriteShare, ibex.WriteShare)
+	}
+}

@@ -1,0 +1,356 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"collio/internal/fcoll"
+	"collio/internal/platform"
+	"collio/internal/sim"
+	"collio/internal/stats"
+	"collio/internal/workload"
+	"collio/internal/workload/flashio"
+	"collio/internal/workload/ior"
+	"collio/internal/workload/tileio"
+)
+
+// BenchCase is one benchmark configuration of the evaluation sweep,
+// labelled with its Table-I row.
+type BenchCase struct {
+	Group string
+	Gen   workload.Generator
+}
+
+// SweepConfig configures the evaluation sweep shared by Table I and
+// Figs. 2–4.
+type SweepConfig struct {
+	Platforms  []platform.Platform
+	ProcCounts []int
+	Benchmarks []BenchCase
+	// Runs is the measurement-series length (the paper uses 3–9).
+	Runs int
+	// SeedBase offsets all series seeds.
+	SeedBase int64
+	// Progress, if non-nil, receives one line per completed series.
+	Progress io.Writer
+}
+
+// scaledCase builds a benchmark at a volume scale (the paper varies
+// problem sizes per benchmark; we use two sizes each).
+func benchCases(small bool) []BenchCase {
+	iorCfg := ior.Default()
+	t256 := tileio.Tile256()
+	t1m := tileio.Tile1M()
+	flash := flashio.Default()
+	if small {
+		iorCfg.BlockSize /= 4
+		t256.ElemsX /= 2
+		t256.ElemsY /= 2
+		t1m.ElemsX /= 2
+		t1m.ElemsY /= 2
+		flash.BlocksPerProc /= 2
+	}
+	suffix := ""
+	if small {
+		suffix = "-s"
+	}
+	t256.Label += suffix
+	t1m.Label += suffix
+	return []BenchCase{
+		{Group: "IOR", Gen: iorCfg},
+		{Group: "Tile I/O 256", Gen: t256},
+		{Group: "Tile I/O 1M", Gen: t1m},
+		{Group: "Flash I/O", Gen: flash},
+	}
+}
+
+// QuickSweep is a laptop-scale sweep (minutes): both platforms, small
+// process counts, two problem sizes, 3-run series.
+func QuickSweep() SweepConfig {
+	return SweepConfig{
+		Platforms:  platform.Platforms(),
+		ProcCounts: []int{16, 32, 64},
+		Benchmarks: append(benchCases(false), benchCases(true)...),
+		Runs:       3,
+		SeedBase:   1000,
+	}
+}
+
+// FullSweep extends the sweep towards the paper's process counts
+// (16–704); expect a long runtime.
+func FullSweep() SweepConfig {
+	return SweepConfig{
+		Platforms:  platform.Platforms(),
+		ProcCounts: []int{16, 32, 64, 128, 256},
+		Benchmarks: append(benchCases(false), benchCases(true)...),
+		Runs:       3,
+		SeedBase:   1000,
+	}
+}
+
+// SweepResult holds everything the sweep-derived artifacts need.
+type SweepResult struct {
+	// Wins tallies best-algorithm counts per benchmark group — Table I.
+	Wins *stats.WinCounter
+	// Improvements per platform: Figs. 2 (crill) and 3 (ibex).
+	Improvements map[string]*stats.Improvements
+	// Series counts the total test series executed.
+	Series int
+}
+
+// algorithms in paper column order.
+var algoNames = func() []string {
+	var out []string
+	for _, a := range fcoll.Algorithms {
+		out = append(out, a.String())
+	}
+	return out
+}()
+
+// RunTableISweep executes the evaluation sweep behind Table I and
+// Figs. 2–3: for every (platform, benchmark, process count) it runs a
+// series per overlap algorithm, counts the winner by min-of-series and
+// accumulates positive improvements over the no-overlap baseline.
+func RunTableISweep(cfg SweepConfig) (*SweepResult, error) {
+	groups := map[string]bool{}
+	var groupOrder []string
+	for _, b := range cfg.Benchmarks {
+		if !groups[b.Group] {
+			groups[b.Group] = true
+			groupOrder = append(groupOrder, b.Group)
+		}
+	}
+	res := &SweepResult{
+		Wins:         stats.NewWinCounter(groupOrder, algoNames),
+		Improvements: make(map[string]*stats.Improvements),
+	}
+	for _, pf := range cfg.Platforms {
+		res.Improvements[pf.Name] = stats.NewImprovements()
+	}
+	seed := cfg.SeedBase
+	for _, pf := range cfg.Platforms {
+		for _, bc := range cfg.Benchmarks {
+			for _, np := range cfg.ProcCounts {
+				if np > pf.MaxProcs() {
+					continue
+				}
+				mins := make(map[string]stats.Series)
+				for _, algo := range fcoll.Algorithms {
+					// Unpaired series: each algorithm is measured in its
+					// own runs under independent interference, as on a
+					// real shared cluster.
+					s, err := RunSeries(Spec{
+						Platform:  pf,
+						NProcs:    np,
+						Gen:       bc.Gen,
+						Algorithm: algo,
+					}, cfg.Runs, seed)
+					if err != nil {
+						return nil, fmt.Errorf("sweep %s/%s/np=%d/%v: %w", pf.Name, bc.Gen.Name(), np, algo, err)
+					}
+					mins[algo.String()] = s
+					seed += int64(cfg.Runs)
+				}
+				base := mins[fcoll.NoOverlap.String()].Min()
+				seriesTimes := make(map[string]sim.Time, len(mins))
+				for name, s := range mins {
+					seriesTimes[name] = s.Min()
+				}
+				res.Wins.Record(bc.Group, seriesTimes)
+				for _, algo := range fcoll.Algorithms {
+					if algo == fcoll.NoOverlap {
+						continue
+					}
+					imp := stats.Improvement(base, mins[algo.String()].Min())
+					res.Improvements[pf.Name].Record(bc.Group, algo.String(), imp)
+				}
+				res.Series++
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "series %3d: %-6s %-14s np=%-4d base=%v\n",
+						res.Series, pf.Name, bc.Gen.Name(), np, mins[fcoll.NoOverlap.String()].Min())
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig1Point is one bar of Figure 1.
+type Fig1Point struct {
+	Platform  string
+	NProcs    int
+	Algorithm string
+	Min       sim.Time
+}
+
+// RunFig1 reproduces Figure 1: Tile I/O 1M execution time for two
+// process counts on both platforms, min-of-series per algorithm.
+func RunFig1(procCounts []int, runs int, progress io.Writer) ([]Fig1Point, error) {
+	var out []Fig1Point
+	gen := tileio.Tile1M()
+	seed := int64(5000)
+	for _, pf := range platform.Platforms() {
+		for _, np := range procCounts {
+			if np > pf.MaxProcs() {
+				continue
+			}
+			for _, algo := range fcoll.Algorithms {
+				s, err := RunSeries(Spec{Platform: pf, NProcs: np, Gen: gen, Algorithm: algo}, runs, seed)
+				if err != nil {
+					return nil, err
+				}
+				seed += int64(runs)
+				_ = algo
+				out = append(out, Fig1Point{
+					Platform: pf.Name, NProcs: np,
+					Algorithm: algo.String(), Min: s.Min(),
+				})
+				if progress != nil {
+					fmt.Fprintf(progress, "fig1: %-6s np=%-4d %-22s min=%v\n", pf.Name, np, algo, s.Min())
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig4Result aggregates the transfer-primitive comparison.
+type Fig4Result struct {
+	// Wins per benchmark group per primitive (Fig. 4's bars).
+	Wins *stats.WinCounter
+	// CrillSmallNP / CrillLargeNP count one-sided wins below/at-or-
+	// above the paper's 256-process threshold (§IV-B's scaling trend).
+	CrillSmallOneSided, CrillSmallTotal int
+	CrillLargeOneSided, CrillLargeTotal int
+}
+
+// primitive names in paper order.
+var primNames = func() []string {
+	var out []string
+	for _, p := range fcoll.Primitives {
+		out = append(out, p.String())
+	}
+	return out
+}()
+
+// RunFig4Sweep reproduces Figure 4: with the Write-Comm-2 overlap
+// algorithm, compare the three shuffle primitives across IOR and both
+// Tile I/O configurations (the benchmarks §IV-B uses).
+func RunFig4Sweep(cfg SweepConfig) (*Fig4Result, error) {
+	var groupOrder []string
+	seen := map[string]bool{}
+	var cases []BenchCase
+	for _, bc := range cfg.Benchmarks {
+		if bc.Group == "Flash I/O" {
+			continue // §IV-B uses IOR and Tile I/O only
+		}
+		cases = append(cases, bc)
+		if !seen[bc.Group] {
+			seen[bc.Group] = true
+			groupOrder = append(groupOrder, bc.Group)
+		}
+	}
+	res := &Fig4Result{Wins: stats.NewWinCounter(groupOrder, primNames)}
+	seed := cfg.SeedBase + 90000
+	for _, pf := range cfg.Platforms {
+		for _, bc := range cases {
+			for _, np := range cfg.ProcCounts {
+				if np > pf.MaxProcs() {
+					continue
+				}
+				times := make(map[string]sim.Time)
+				for _, prim := range fcoll.Primitives {
+					s, err := RunSeries(Spec{
+						Platform:  pf,
+						NProcs:    np,
+						Gen:       bc.Gen,
+						Algorithm: fcoll.WriteComm2Overlap,
+						Primitive: prim,
+					}, cfg.Runs, seed)
+					if err != nil {
+						return nil, err
+					}
+					times[prim.String()] = s.Min()
+					seed += int64(cfg.Runs)
+				}
+				res.Wins.Record(bc.Group, times)
+				// §IV-B scaling trend bookkeeping (crill only).
+				if pf.Name == "crill" {
+					best := bestName(times)
+					oneSided := best != fcoll.TwoSided.String()
+					if np < 256 {
+						res.CrillSmallTotal++
+						if oneSided {
+							res.CrillSmallOneSided++
+						}
+					} else {
+						res.CrillLargeTotal++
+						if oneSided {
+							res.CrillLargeOneSided++
+						}
+					}
+				}
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "fig4: %-6s %-14s np=%-4d best=%s\n",
+						pf.Name, bc.Gen.Name(), np, bestName(times))
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func bestName(times map[string]sim.Time) string {
+	var names []string
+	for n := range times {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	best := ""
+	var bt sim.Time
+	for _, n := range names {
+		if best == "" || times[n] < bt {
+			best, bt = n, times[n]
+		}
+	}
+	return best
+}
+
+// Breakdown reproduces the §IV-A analysis: the shuffle vs file-access
+// time split of the no-overlap code for Tile I/O 1M at a given process
+// count.
+type BreakdownPoint struct {
+	Platform   string
+	NProcs     int
+	CommShare  float64
+	WriteShare float64
+}
+
+// RunBreakdown measures the communication / file-I/O split.
+func RunBreakdown(procCounts []int) ([]BreakdownPoint, error) {
+	var out []BreakdownPoint
+	for _, pf := range platform.Platforms() {
+		for _, np := range procCounts {
+			if np > pf.MaxProcs() {
+				continue
+			}
+			m, err := Execute(Spec{
+				Platform: pf, NProcs: np,
+				Gen:       tileio.Tile1M(),
+				Algorithm: fcoll.NoOverlap,
+				Seed:      7,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tot := float64(m.ShuffleTime + m.WriteTime)
+			out = append(out, BreakdownPoint{
+				Platform: pf.Name, NProcs: np,
+				CommShare:  float64(m.ShuffleTime) / tot,
+				WriteShare: float64(m.WriteTime) / tot,
+			})
+		}
+	}
+	return out, nil
+}

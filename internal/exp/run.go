@@ -1,0 +1,152 @@
+// Package exp implements the paper's evaluation harness: single runs,
+// measurement series, and the named experiments that regenerate
+// Table I and Figures 1–4 of the reproduced paper (see DESIGN.md §5 and
+// EXPERIMENTS.md).
+package exp
+
+import (
+	"fmt"
+
+	"collio/internal/fcoll"
+	"collio/internal/mpi"
+	"collio/internal/mpiio"
+	"collio/internal/platform"
+	"collio/internal/sim"
+	"collio/internal/stats"
+	"collio/internal/trace"
+	"collio/internal/workload"
+)
+
+// Spec is one fully-specified benchmark run.
+type Spec struct {
+	Platform   platform.Platform
+	NProcs     int
+	Gen        workload.Generator
+	Algorithm  fcoll.Algorithm
+	Primitive  fcoll.Primitive
+	BufferSize int64 // 0 = 32 MiB (the ompio default)
+	// Seed drives platform noise; the workload's layout uses a fixed
+	// internal seed so every algorithm sees the identical job.
+	Seed int64
+	// Read runs the benchmark as collective reads instead of writes
+	// (two-sided primitive only).
+	Read bool
+	// Trace, when non-nil, records phase spans of the run.
+	Trace *trace.Recorder
+}
+
+// Metrics is the outcome of one run.
+type Metrics struct {
+	// Elapsed is the wall time of the whole benchmark (all collectives,
+	// slowest rank).
+	Elapsed sim.Time
+	// ShuffleTime / WriteTime are the maxima over aggregator ranks of
+	// time spent in the shuffle vs file-access phases (the §IV-A
+	// breakdown).
+	ShuffleTime sim.Time
+	WriteTime   sim.Time
+	// BytesWritten is the total file volume.
+	BytesWritten int64
+	// Cycles is the per-collective internal cycle count (first view).
+	Cycles int
+	// Aggregators is the number of ranks that performed file I/O.
+	Aggregators int
+}
+
+// workloadSeed fixes the job layout across a series so that only
+// platform noise varies between runs.
+const workloadSeed = 424242
+
+// Execute runs one spec and returns its metrics.
+func Execute(spec Spec) (Metrics, error) {
+	if spec.NProcs <= 0 {
+		return Metrics{}, fmt.Errorf("exp: NProcs must be positive")
+	}
+	bufSize := spec.BufferSize
+	if bufSize == 0 {
+		bufSize = 32 << 20
+	}
+	cl, err := spec.Platform.Instantiate(spec.NProcs, spec.Seed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	views, err := spec.Gen.Views(spec.NProcs, false, workloadSeed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	file := mpiio.Open(cl.World, cl.FS.Open(spec.Gen.Name()))
+	file.SetCollectiveOptions(fcoll.Options{
+		Algorithm:  spec.Algorithm,
+		Primitive:  spec.Primitive,
+		BufferSize: bufSize,
+		Trace:      spec.Trace,
+	})
+	type rankOut struct {
+		res fcoll.Result
+		err error
+	}
+	outs := make([]rankOut, spec.NProcs)
+	cl.World.Launch(func(r *mpi.Rank) {
+		var acc fcoll.Result
+		for _, jv := range views {
+			var res fcoll.Result
+			var err error
+			if spec.Read {
+				res, err = file.ReadAll(r, jv)
+			} else {
+				res, err = file.WriteAll(r, jv)
+			}
+			if err != nil {
+				outs[r.ID()].err = err
+				return
+			}
+			acc.ShuffleTime += res.ShuffleTime
+			acc.WriteTime += res.WriteTime
+			acc.BytesWritten += res.BytesWritten
+			acc.Aggregator = acc.Aggregator || res.Aggregator
+			if acc.Cycles == 0 {
+				acc.Cycles = res.Cycles
+			}
+		}
+		outs[r.ID()].res = acc
+	})
+	cl.Kernel.Run()
+
+	var m Metrics
+	m.Elapsed = cl.World.Elapsed()
+	for _, o := range outs {
+		if o.err != nil {
+			return Metrics{}, o.err
+		}
+		m.BytesWritten += o.res.BytesWritten
+		if o.res.Aggregator {
+			m.Aggregators++
+			if o.res.ShuffleTime > m.ShuffleTime {
+				m.ShuffleTime = o.res.ShuffleTime
+			}
+			if o.res.WriteTime > m.WriteTime {
+				m.WriteTime = o.res.WriteTime
+			}
+		}
+		if o.res.Cycles > m.Cycles {
+			m.Cycles = o.res.Cycles
+		}
+	}
+	return m, nil
+}
+
+// RunSeries runs a spec `runs` times with seeds seedBase, seedBase+1, …
+// and returns the elapsed-time series (the paper runs 3–9 measurements
+// per series).
+func RunSeries(spec Spec, runs int, seedBase int64) (stats.Series, error) {
+	var s stats.Series
+	for i := 0; i < runs; i++ {
+		spec.Seed = seedBase + int64(i)
+		m, err := Execute(spec)
+		if err != nil {
+			return stats.Series{}, err
+		}
+		s.Add(m.Elapsed)
+	}
+	return s, nil
+}

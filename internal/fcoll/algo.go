@@ -1,0 +1,169 @@
+package fcoll
+
+import "collio/internal/sim"
+
+// runNoOverlap is the original two-phase algorithm: one full-size
+// collective buffer, strictly alternating shuffle and synchronous write.
+func (ex *exec) runNoOverlap() {
+	for c := 0; c < ex.p.ncycles; c++ {
+		ex.shuffleBlocking(c, 0)
+		ex.writeSync(c, 0)
+	}
+}
+
+// runCommOverlap is Algorithm 1: non-blocking shuffles over two
+// sub-buffers, blocking writes. The shuffle of cycle i+1 runs in the
+// background while cycle i is written — but the synchronous write keeps
+// the aggregator outside the MPI library, so background progress is
+// limited (the effect §III-A.1 discusses).
+func (ex *exec) runCommOverlap() {
+	n := ex.p.ncycles
+	p1, p2 := 0, 1
+	sh := ex.shuffleInit(0, p1)
+	for i := 1; i < n; i++ {
+		sh2 := ex.shuffleInit(i, p2)
+		ex.shuffleWait(sh)
+		ex.writeSync(i-1, p1)
+		p1, p2 = p2, p1
+		sh = sh2
+	}
+	ex.shuffleWait(sh)
+	ex.writeSync(n-1, p1)
+}
+
+// runWriteOverlap is Algorithm 2: blocking shuffles, asynchronous
+// writes. While the aggregator shuffles cycle i+1 (inside MPI), the OS
+// progresses cycle i's aio write.
+//
+// The paper's pseudocode line 11 waits only on p2; that leaks the final
+// write when NumberOfCycles is odd, so we wait whichever write is still
+// outstanding (see DESIGN.md §4).
+func (ex *exec) runWriteOverlap() {
+	n := ex.p.ncycles
+	p1, p2 := 0, 1
+	ex.shuffleBlocking(0, p1)
+	w := [2]*sim.Future{}
+	w[p1] = ex.writeInit(0, p1)
+	for i := 1; i < n; i++ {
+		ex.shuffleBlocking(i, p2)
+		w[p2] = ex.writeInit(i, p2)
+		ex.writeWait(w[p1])
+		w[p1] = nil
+		p1, p2 = p2, p1
+	}
+	ex.writeWait(w[p1])
+	ex.writeWait(w[p2])
+}
+
+// runWriteCommOverlap is Algorithm 3: both phases non-blocking; each
+// iteration starts the write of the previous cycle and the shuffle of
+// the next, then waits for both.
+func (ex *exec) runWriteCommOverlap() {
+	n := ex.p.ncycles
+	p1, p2 := 0, 1
+	ex.shuffleBlocking(0, p1)
+	for c := 1; c < n; c++ {
+		w := ex.writeInit(c-1, p1)
+		sh := ex.shuffleInit(c, p2)
+		// wait_all(p1, p2): complete the shuffle and the write
+		// together, inside MPI throughout.
+		ex.shuffleWait(sh)
+		ex.writeWait(w)
+		p1, p2 = p2, p1
+	}
+	ex.writeWait(ex.writeInit(n-1, p1))
+}
+
+// runWriteComm2 is Algorithm 4: each completed non-blocking operation
+// is immediately followed by posting its successor. Per cycle the
+// posting order is write_wait on the freed buffer, shuffle_init,
+// shuffle_wait, write_init — the paper's lines 6–13 collapsed to one
+// cycle per step (the printed pseudocode's two-cycle unrolling contains
+// typos; see DESIGN.md §4).
+func (ex *exec) runWriteComm2() {
+	ex.runWriteComm2Static()
+}
+
+// runDataflow is the extension scheduler (see DataflowOverlap): an
+// event-driven loop that reacts to whichever non-blocking operation
+// completes first. Only the two-sided primitive supports passive
+// shuffle completion; one-sided runs fall back to the static order.
+func (ex *exec) runDataflow() {
+	if ex.opts.Primitive == TwoSided {
+		ex.runWriteComm2Dataflow()
+		return
+	}
+	ex.runWriteComm2Static()
+}
+
+func (ex *exec) runWriteComm2Dataflow() {
+	n := ex.p.ncycles
+	k := ex.r.World().Kernel()
+
+	type bufState struct {
+		sh    *shuffle
+		shFut *sim.Future
+		write *sim.Future
+	}
+	var st [2]bufState
+	next := 0 // next cycle to shuffle
+	for {
+		// Post shuffles on every free buffer first (follow-up-first
+		// posting discipline).
+		for s := 0; s < 2 && next < n; s++ {
+			if st[s].sh == nil && st[s].write == nil {
+				st[s].sh = ex.shuffleInit(next, s)
+				st[s].shFut = st[s].sh.future(k)
+				next++
+			}
+		}
+		// Collect everything in flight.
+		var futs []*sim.Future
+		var what []int // slot*2 + (0 shuffle / 1 write)
+		for s := 0; s < 2; s++ {
+			if st[s].sh != nil {
+				futs = append(futs, st[s].shFut)
+				what = append(what, s*2)
+			}
+			if st[s].write != nil {
+				futs = append(futs, st[s].write)
+				what = append(what, s*2+1)
+			}
+		}
+		if len(futs) == 0 {
+			break
+		}
+		idx := ex.r.WaitAnyFuture(futs...)
+		s := what[idx] / 2
+		if what[idx]%2 == 0 {
+			// Shuffle done: account the wait, scatter staged data, and
+			// immediately post the write.
+			t0 := ex.r.Now()
+			ex.r.Wait(st[s].sh.reqs...) // already complete; reap
+			ex.unpack(st[s].sh)
+			ex.res.ShuffleTime += ex.r.Now() - t0
+			st[s].write = ex.writeInit(st[s].sh.cycle, s)
+			st[s].sh, st[s].shFut = nil, nil
+		} else {
+			// Write done: buffer is free for the next shuffle.
+			st[s].write = nil
+		}
+	}
+}
+
+func (ex *exec) runWriteComm2Static() {
+	n := ex.p.ncycles
+	var w [2]*sim.Future
+	ex.shuffleBlocking(0, 0)
+	w[0] = ex.writeInit(0, 0)
+	for c := 1; c < n; c++ {
+		s := c % 2
+		ex.writeWait(w[s])
+		w[s] = nil
+		sh := ex.shuffleInit(c, s)
+		ex.shuffleWait(sh)
+		w[s] = ex.writeInit(c, s)
+	}
+	ex.writeWait(w[0])
+	ex.writeWait(w[1])
+}

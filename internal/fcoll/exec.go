@@ -1,0 +1,427 @@
+package fcoll
+
+import (
+	"fmt"
+
+	"collio/internal/mpi"
+	"collio/internal/sim"
+	"collio/internal/trace"
+)
+
+// exec is the per-rank execution state of one collective write.
+type exec struct {
+	r        *mpi.Rank
+	jv       *JobView
+	p        *plan
+	file     Writer
+	opts     Options
+	dataMode bool
+	aggIdx   int // index into plan.aggRanks, -1 for non-aggregators
+	slots    int
+	bufs     [2][]byte
+	wins     [2]*mpi.Window
+	res      Result
+}
+
+// Run executes one collective write on rank r. Every rank of the world
+// must call Run with the same JobView, Writer and Options (collective
+// semantics). It returns this rank's accounting.
+func Run(r *mpi.Rank, jv *JobView, file Writer, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if len(jv.Ranks) != r.Size() {
+		return Result{}, fmt.Errorf("fcoll: job view has %d ranks, world has %d", len(jv.Ranks), r.Size())
+	}
+	start := r.Now()
+	r.EnterMPI() // the whole collective runs inside the MPI library ...
+	defer r.ExitMPI()
+
+	ex := &exec{r: r, jv: jv, file: file, opts: opts, dataMode: jv.DataMode()}
+	ex.setup()
+	switch opts.Algorithm {
+	case NoOverlap:
+		ex.runNoOverlap()
+	case CommOverlap:
+		ex.runCommOverlap()
+	case WriteOverlap:
+		ex.runWriteOverlap()
+	case WriteCommOverlap:
+		ex.runWriteCommOverlap()
+	case WriteComm2Overlap:
+		ex.runWriteComm2()
+	case DataflowOverlap:
+		ex.runDataflow()
+	default:
+		return Result{}, fmt.Errorf("fcoll: unknown algorithm %v", opts.Algorithm)
+	}
+	// The collective completes on all ranks together (write_all is
+	// collective; vulcan's final synchronisation).
+	r.Barrier()
+	ex.res.Elapsed = r.Now() - start
+	ex.res.Cycles = ex.p.ncycles
+	ex.res.Aggregator = ex.aggIdx >= 0
+	return ex.res, nil
+}
+
+// setup charges the plan-establishment collectives (offset reduction and
+// flattened-view metadata exchange) and resolves the shared plan.
+func (ex *exec) setup() {
+	r := ex.r
+	// Bounds agreement: min start / max end, one small allreduce.
+	myStart, myEnd := int64(1)<<62, int64(0)
+	for _, e := range ex.jv.Ranks[r.ID()].Extents {
+		if e.Off < myStart {
+			myStart = e.Off
+		}
+		if e.End() > myEnd {
+			myEnd = e.End()
+		}
+	}
+	r.AllreduceI64([]int64{myStart, -myEnd}, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	// Flattened-view metadata exchange: 16 bytes per extent, ring
+	// allgatherv (vulcan exchanges the per-process offset/length lists
+	// so every rank can compute identical send/receive maps).
+	counts := r.AllgatherI64(int64(len(ex.jv.Ranks[r.ID()].Extents)))
+	sizes := make([]int64, len(counts))
+	for i, c := range counts {
+		sizes[i] = 16 * c
+	}
+	r.Allgatherv(mpi.Symbolic(sizes[r.ID()]), sizes)
+
+	window := ex.opts.BufferSize
+	ex.slots = 1
+	if ex.opts.Algorithm != NoOverlap {
+		// Two sub-buffers of half the collective buffer (§III-A).
+		window /= 2
+		ex.slots = 2
+	}
+	ex.p = buildPlan(ex.jv, r.World(), window, ex.opts.Aggregators, ex.opts.Layout)
+	ex.aggIdx = ex.p.aggIndexOf(r.ID())
+
+	oneSided := ex.opts.Primitive != TwoSided
+	for s := 0; s < ex.slots; s++ {
+		if oneSided {
+			size := int64(0)
+			if ex.aggIdx >= 0 {
+				size = window
+			}
+			ex.wins[s] = r.WinAllocate(size, ex.dataMode)
+			if ex.aggIdx >= 0 {
+				ex.bufs[s] = ex.wins[s].Data(r.ID())
+			}
+		} else if ex.aggIdx >= 0 && ex.dataMode {
+			ex.bufs[s] = make([]byte, window)
+		}
+	}
+}
+
+// chargeCopy waits out a memory copy of n bytes on this rank's node
+// (pack/unpack cost), inside MPI.
+func (ex *exec) chargeCopy(n int64) {
+	if n <= 0 {
+		return
+	}
+	fut := ex.r.World().Network().Memcpy(ex.r.Node(), n)
+	ex.r.WaitFutures(fut)
+}
+
+// shuffle is an in-flight shuffle phase on one sub-buffer.
+type shuffle struct {
+	cycle, slot int
+	initAt      sim.Time
+	reqs        []*mpi.Request // two-sided: sends + receives
+	staged      []stagedRecv   // receives needing scatter into the buffer
+	unpackBytes int64
+}
+
+type stagedRecv struct {
+	buf []byte
+	op  recvOp
+}
+
+// future returns a completion future covering all of the shuffle's
+// requests (two-sided only; used by the data-flow algorithm).
+func (sh *shuffle) future(k *sim.Kernel) *sim.Future {
+	fs := make([]*sim.Future, len(sh.reqs))
+	for i, q := range sh.reqs {
+		fs[i] = q.Future()
+	}
+	return k.Join(fs...)
+}
+
+// shuffleInit starts the shuffle for cycle c into sub-buffer slot.
+func (ex *exec) shuffleInit(c, slot int) *shuffle {
+	t0 := ex.r.Now()
+	sh := &shuffle{cycle: c, slot: slot, initAt: t0}
+	// Per-cycle transfer-size exchange: ROMIO/vulcan run an
+	// MPI_Alltoall of send sizes at the start of every cycle. Besides
+	// its cost, it makes each cycle a de-facto global synchronisation
+	// point — the reason the non-overlapping baseline's shuffle and
+	// file-access phases strictly alternate machine-wide.
+	ex.r.AlltoallSync(8)
+	switch ex.opts.Primitive {
+	case TwoSided:
+		ex.twoSidedInit(sh)
+	case OneSidedFence:
+		ex.r.WinFence(ex.wins[slot]) // open the access epoch
+		ex.putAll(sh)
+	case OneSidedLock:
+		// Barrier: no origin may write into the window before every
+		// aggregator has drained it (paper §III-B.2b).
+		ex.r.Barrier()
+		ex.lockPutUnlockAll(sh)
+	case OneSidedPSCW:
+		// The exposure epoch is opened pairwise: aggregators post to
+		// this cycle's origins; origins start on their targets (which
+		// implicitly waits until each aggregator has drained the
+		// buffer), put, and complete.
+		if ex.aggIdx >= 0 {
+			ex.r.WinPost(ex.wins[slot], ex.cycleOrigins(c))
+		}
+		if tg := ex.cycleTargets(c); len(tg) > 0 {
+			ex.r.WinStart(ex.wins[slot], tg)
+			ex.putAll(sh)
+			ex.r.WinComplete(ex.wins[slot])
+		}
+	}
+	ex.res.ShuffleTime += ex.r.Now() - t0
+	return sh
+}
+
+// cycleOrigins lists the world ranks sending into this aggregator's
+// window in cycle c.
+func (ex *exec) cycleOrigins(c int) []int {
+	ops := ex.p.recvs[ex.aggIdx][c]
+	out := make([]int, len(ops))
+	for i, ro := range ops {
+		out[i] = ro.src
+	}
+	return out
+}
+
+// cycleTargets lists the aggregator world ranks this rank sends to in
+// cycle c.
+func (ex *exec) cycleTargets(c int) []int {
+	ops := ex.p.sends[ex.r.ID()][c]
+	out := make([]int, len(ops))
+	for i, so := range ops {
+		out[i] = ex.p.aggRanks[so.agg]
+	}
+	return out
+}
+
+// shuffleWait completes the shuffle phase.
+func (ex *exec) shuffleWait(sh *shuffle) {
+	t0 := ex.r.Now()
+	switch ex.opts.Primitive {
+	case TwoSided:
+		ex.r.Wait(sh.reqs...)
+		ex.unpack(sh)
+	case OneSidedFence:
+		ex.r.WinFence(ex.wins[sh.slot]) // close epoch: all puts complete
+	case OneSidedLock:
+		// Unlocks already forced remote completion; the barrier tells
+		// aggregators every origin is done.
+		ex.r.Barrier()
+	case OneSidedPSCW:
+		// Only exposure owners wait, and only for their own origins.
+		if ex.aggIdx >= 0 {
+			ex.r.WinWait(ex.wins[sh.slot])
+		}
+	}
+	ex.res.ShuffleTime += ex.r.Now() - t0
+	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseShuffle, sh.cycle, sh.initAt, ex.r.Now())
+}
+
+// shuffleBlocking is the blocking shuffle used by the write-overlap
+// family.
+func (ex *exec) shuffleBlocking(c, slot int) {
+	ex.shuffleWait(ex.shuffleInit(c, slot))
+}
+
+// twoSidedInit posts the aggregator receives (first, so eager traffic
+// matches pre-posted buffers where possible) and then packs and sends
+// this rank's contributions.
+func (ex *exec) twoSidedInit(sh *shuffle) {
+	r := ex.r
+	tag := ex.opts.TagBase + sh.cycle
+	if ex.aggIdx >= 0 {
+		for _, ro := range ex.p.recvs[ex.aggIdx][sh.cycle] {
+			var buf []byte
+			if len(ro.segs) == 1 {
+				// Single contiguous target range: receive in place.
+				if ex.dataMode {
+					s := ro.segs[0]
+					buf = ex.bufs[sh.slot][s.off : s.off+s.len]
+				}
+			} else {
+				if ex.dataMode {
+					buf = make([]byte, ro.total)
+				}
+				sh.staged = append(sh.staged, stagedRecv{buf: buf, op: ro})
+				sh.unpackBytes += ro.total
+			}
+			sh.reqs = append(sh.reqs, r.Irecv(ro.src, tag, ro.total, buf))
+		}
+	}
+	for _, so := range ex.p.sends[r.ID()][sh.cycle] {
+		var pl mpi.Payload
+		if ex.dataMode {
+			packed := ex.pack(so)
+			pl = mpi.Bytes(packed)
+		} else {
+			pl = mpi.Symbolic(so.total)
+			if len(so.segs) > 1 {
+				ex.chargeCopy(so.total) // pack cost in symbolic mode too
+			}
+		}
+		sh.reqs = append(sh.reqs, r.Isend(ex.p.aggRanks[so.agg], tag, pl))
+		ex.res.BytesSent += so.total
+	}
+}
+
+// pack gathers a sendOp's segments from the local data buffer into one
+// contiguous message, charging the copy when the data is fragmented.
+func (ex *exec) pack(so sendOp) []byte {
+	data := ex.jv.Ranks[ex.r.ID()].Data
+	if len(so.segs) == 1 {
+		s := so.segs[0]
+		return data[s.off : s.off+s.len] // contiguous: zero-copy send
+	}
+	out := make([]byte, 0, so.total)
+	for _, s := range so.segs {
+		out = append(out, data[s.off:s.off+s.len]...)
+	}
+	ex.chargeCopy(so.total)
+	return out
+}
+
+// unpack scatters staged receives into the sub-buffer, charging the
+// copies. Receives with a single target range landed in place.
+//
+// The staged-receive layout: the packed message holds the source's
+// segments in window order, matching op.segs.
+func (ex *exec) unpack(sh *shuffle) {
+	if sh.unpackBytes == 0 {
+		return
+	}
+	if ex.dataMode {
+		for _, st := range sh.staged {
+			var src int64
+			for _, s := range st.op.segs {
+				copy(ex.bufs[sh.slot][s.off:s.off+s.len], st.buf[src:src+s.len])
+				src += s.len
+			}
+		}
+	}
+	ex.chargeCopy(sh.unpackBytes)
+}
+
+// putAll issues one Put per contiguous window range (one-sided shuffles
+// cannot pack, since nothing unpacks at the passive target).
+func (ex *exec) putAll(sh *shuffle) {
+	r := ex.r
+	data := ex.jv.Ranks[r.ID()].Data
+	for _, so := range ex.p.sends[r.ID()][sh.cycle] {
+		tgt := ex.p.aggRanks[so.agg]
+		for i, ws := range so.wsegs {
+			var pl mpi.Payload
+			if ex.dataMode {
+				s := so.segs[i]
+				pl = mpi.Bytes(data[s.off : s.off+s.len])
+			} else {
+				pl = mpi.Symbolic(ws.len)
+			}
+			r.Put(ex.wins[sh.slot], tgt, ws.off, pl)
+		}
+		ex.res.BytesSent += so.total
+	}
+}
+
+// lockPutUnlockAll wraps the puts to each aggregator in a shared
+// lock/unlock epoch (passive target).
+func (ex *exec) lockPutUnlockAll(sh *shuffle) {
+	r := ex.r
+	data := ex.jv.Ranks[r.ID()].Data
+	for _, so := range ex.p.sends[r.ID()][sh.cycle] {
+		tgt := ex.p.aggRanks[so.agg]
+		r.WinLock(ex.wins[sh.slot], mpi.LockShared, tgt)
+		for i, ws := range so.wsegs {
+			var pl mpi.Payload
+			if ex.dataMode {
+				s := so.segs[i]
+				pl = mpi.Bytes(data[s.off : s.off+s.len])
+			} else {
+				pl = mpi.Symbolic(ws.len)
+			}
+			r.Put(ex.wins[sh.slot], tgt, ws.off, pl)
+		}
+		r.WinUnlock(ex.wins[sh.slot], tgt)
+		ex.res.BytesSent += so.total
+	}
+}
+
+// writeSync flushes cycle c's window from slot synchronously (blocking
+// POSIX write: the rank leaves the MPI library for the duration).
+func (ex *exec) writeSync(c, slot int) {
+	if ex.aggIdx < 0 {
+		return
+	}
+	ext := ex.p.cycleExtent(ex.aggIdx, c)
+	if ext.Len == 0 {
+		return
+	}
+	t0 := ex.r.Now()
+	var data []byte
+	if ex.dataMode {
+		data = ex.bufs[slot][:ext.Len]
+	}
+	ex.file.WriteSync(ex.r, ext.Off, ext.Len, data)
+	ex.res.WriteTime += ex.r.Now() - t0
+	ex.res.BytesWritten += ext.Len
+	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseWrite, c, t0, ex.r.Now())
+}
+
+// writeInit starts an asynchronous flush of cycle c's window from slot
+// and returns its completion future (nil when this rank writes nothing
+// this cycle).
+func (ex *exec) writeInit(c, slot int) *sim.Future {
+	if ex.aggIdx < 0 {
+		return nil
+	}
+	ext := ex.p.cycleExtent(ex.aggIdx, c)
+	if ext.Len == 0 {
+		return nil
+	}
+	var data []byte
+	if ex.dataMode {
+		data = ex.bufs[slot][:ext.Len]
+	}
+	ex.res.BytesWritten += ext.Len
+	fut := ex.file.WriteAsync(ex.r, ext.Off, ext.Len, data)
+	if ex.opts.Trace != nil {
+		t0 := ex.r.Now()
+		rank, k := ex.r.ID(), ex.r.World().Kernel()
+		tr := ex.opts.Trace
+		fut.OnDone(func() { tr.Record(rank, trace.PhaseWrite, c, t0, k.Now()) })
+	}
+	return fut
+}
+
+// writeWait completes an asynchronous write. The rank stays inside MPI
+// while waiting (MPI_File_iwrite + MPI_Wait), so communication keeps
+// progressing — the asymmetry at the heart of the paper's results.
+func (ex *exec) writeWait(f *sim.Future) {
+	if f == nil {
+		return
+	}
+	t0 := ex.r.Now()
+	ex.r.WaitFutures(f)
+	ex.res.WriteTime += ex.r.Now() - t0
+}

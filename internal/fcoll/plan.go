@@ -1,0 +1,269 @@
+package fcoll
+
+import (
+	"fmt"
+
+	"collio/internal/datatype"
+	"collio/internal/mpi"
+)
+
+// seg is one contiguous piece of shuffle traffic. For send maps, off is
+// the offset within the origin rank's local data buffer; for receive
+// maps, off is the offset within the aggregator's cycle window.
+type seg struct {
+	off, len int64
+}
+
+// sendOp is one rank's traffic to one aggregator in one cycle. Segments
+// are in file order; winSegs mirror segs with window-relative offsets so
+// one-sided primitives can Put each contiguous target range directly.
+type sendOp struct {
+	agg   int // aggregator index (into plan.aggRanks)
+	total int64
+	segs  []seg // offsets into the origin's local buffer
+	wsegs []seg // offsets into the aggregator's cycle window
+}
+
+// recvOp is an aggregator's inbound traffic from one source rank in one
+// cycle. Segments carry window-relative offsets.
+type recvOp struct {
+	src   int
+	total int64
+	segs  []seg
+}
+
+// plan is the fully-resolved two-phase schedule: identical on every
+// rank (as in vulcan, where the flattened views are exchanged up
+// front).
+type plan struct {
+	layout     DomainLayout
+	start, end int64
+	aggRanks   []int             // world ranks acting as aggregators
+	domains    []datatype.Extent // contiguous layout: per-aggregator domains
+	aggSpan    int64             // contiguous layout: uniform domain size
+	window     int64             // bytes flushed per cycle per aggregator
+	ncycles    int               // global cycle count (max over aggregators)
+
+	sends [][][]sendOp // [rank][cycle] -> ops
+	recvs [][][]recvOp // [aggIdx][cycle] -> ops
+}
+
+// aggregatorRanks selects the aggregator set: count 0 means one per
+// occupied compute node (the first rank of each node), mirroring the
+// shape of ompio's automatic runtime selection.
+func aggregatorRanks(w *mpi.World, count int) []int {
+	rpn := w.Config().RanksPerNode
+	np := w.Size()
+	if count <= 0 {
+		var out []int
+		for r := 0; r < np; r += rpn {
+			out = append(out, r)
+		}
+		return out
+	}
+	if count > np {
+		count = np
+	}
+	// Spread evenly over the rank space.
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		out[i] = i * np / count
+	}
+	return out
+}
+
+// buildPlan computes the full shuffle/write schedule for a window size
+// and layout. It runs host-side once per cache key and is shared by all
+// ranks; the metadata-exchange cost is charged separately in setup (see
+// exec.setup).
+func buildPlan(jv *JobView, w *mpi.World, window int64, aggregators int, layout DomainLayout) *plan {
+	if jv.planCache == nil {
+		jv.planCache = make(map[planKey]*plan)
+	}
+	key := planKey{window, aggregators, layout}
+	if p, ok := jv.planCache[key]; ok {
+		return p
+	}
+
+	start, end := jv.Bounds()
+	total := end - start
+	aggRanks := aggregatorRanks(w, aggregators)
+	na := len(aggRanks)
+	p := &plan{
+		layout:   layout,
+		start:    start,
+		end:      end,
+		aggRanks: aggRanks,
+		window:   window,
+	}
+	switch layout {
+	case RoundRobinWindows:
+		nwin := (total + window - 1) / window
+		p.ncycles = int((nwin + int64(na) - 1) / int64(na))
+	case ContiguousDomains:
+		aggSpan := (total + int64(na) - 1) / int64(na)
+		if aggSpan == 0 {
+			aggSpan = 1
+		}
+		p.aggSpan = aggSpan
+		for a := 0; a < na; a++ {
+			dStart := start + int64(a)*aggSpan
+			dEnd := dStart + aggSpan
+			if dEnd > end {
+				dEnd = end
+			}
+			if dStart > end {
+				dStart, dEnd = end, end
+			}
+			p.domains = append(p.domains, datatype.Extent{Off: dStart, Len: dEnd - dStart})
+			cycles := int((dEnd - dStart + window - 1) / window)
+			if cycles > p.ncycles {
+				p.ncycles = cycles
+			}
+		}
+	default:
+		panic(fmt.Sprintf("fcoll: unknown layout %v", layout))
+	}
+
+	// locate maps a file offset to its aggregator, cycle and window
+	// bounds.
+	locate := func(off int64) (a, c int, winStart, winEnd int64) {
+		switch layout {
+		case RoundRobinWindows:
+			g := (off - start) / window
+			a = int(g % int64(na))
+			c = int(g / int64(na))
+			winStart = start + g*window
+			winEnd = winStart + window
+			if winEnd > end {
+				winEnd = end
+			}
+			return
+		default: // ContiguousDomains
+			rel := off - start
+			a = int(rel / p.aggSpan)
+			if a >= na {
+				a = na - 1
+			}
+			dom := p.domains[a]
+			c = int((off - dom.Off) / window)
+			winStart = dom.Off + int64(c)*window
+			winEnd = winStart + window
+			if winEnd > dom.End() {
+				winEnd = dom.End()
+			}
+			return
+		}
+	}
+
+	np := w.Size()
+	p.sends = make([][][]sendOp, np)
+	for r := range p.sends {
+		p.sends[r] = make([][]sendOp, p.ncycles)
+	}
+	p.recvs = make([][][]recvOp, na)
+	for a := range p.recvs {
+		p.recvs[a] = make([][]recvOp, p.ncycles)
+	}
+
+	findSend := func(ops []sendOp, agg int) int {
+		for i := range ops {
+			if ops[i].agg == agg {
+				return i
+			}
+		}
+		return -1
+	}
+	findRecv := func(ops []recvOp, src int) int {
+		for i := range ops {
+			if ops[i].src == src {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for r := 0; r < np; r++ {
+		var srcOff int64
+		for _, e := range jv.Ranks[r].Extents {
+			off, remaining := e.Off, e.Len
+			for remaining > 0 {
+				a, c, winStart, winEnd := locate(off)
+				n := winEnd - off
+				if n > remaining {
+					n = remaining
+				}
+				if n <= 0 {
+					panic(fmt.Sprintf("fcoll: planner stuck at off=%d win=[%d,%d) cycle=%d", off, winStart, winEnd, c))
+				}
+				winOff := off - winStart
+
+				ops := p.sends[r][c]
+				i := findSend(ops, a)
+				if i < 0 {
+					p.sends[r][c] = append(ops, sendOp{agg: a})
+					i = len(p.sends[r][c]) - 1
+				}
+				so := &p.sends[r][c][i]
+				so.total += n
+				so.segs = append(so.segs, seg{srcOff, n})
+				so.wsegs = append(so.wsegs, seg{winOff, n})
+
+				rops := p.recvs[a][c]
+				j := findRecv(rops, r)
+				if j < 0 {
+					p.recvs[a][c] = append(rops, recvOp{src: r})
+					j = len(p.recvs[a][c]) - 1
+				}
+				ro := &p.recvs[a][c][j]
+				ro.total += n
+				ro.segs = append(ro.segs, seg{winOff, n})
+
+				srcOff += n
+				off += n
+				remaining -= n
+			}
+		}
+	}
+	jv.planCache[key] = p
+	return p
+}
+
+// aggIndexOf returns the aggregator index of a world rank, or -1.
+func (p *plan) aggIndexOf(rank int) int {
+	for i, a := range p.aggRanks {
+		if a == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// cycleExtent returns the file extent aggregator a flushes in cycle c
+// (zero length if the schedule is exhausted).
+func (p *plan) cycleExtent(a, c int) datatype.Extent {
+	switch p.layout {
+	case RoundRobinWindows:
+		g := int64(c)*int64(len(p.aggRanks)) + int64(a)
+		off := p.start + g*p.window
+		if off >= p.end {
+			return datatype.Extent{Off: p.end, Len: 0}
+		}
+		n := p.window
+		if off+n > p.end {
+			n = p.end - off
+		}
+		return datatype.Extent{Off: off, Len: n}
+	default: // ContiguousDomains
+		dom := p.domains[a]
+		off := dom.Off + int64(c)*p.window
+		if off >= dom.End() {
+			return datatype.Extent{Off: dom.End(), Len: 0}
+		}
+		n := p.window
+		if off+n > dom.End() {
+			n = dom.End() - off
+		}
+		return datatype.Extent{Off: off, Len: n}
+	}
+}

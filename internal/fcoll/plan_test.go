@@ -1,0 +1,216 @@
+package fcoll
+
+import (
+	"math/rand"
+	"testing"
+
+	"collio/internal/datatype"
+	"collio/internal/mpi"
+	"collio/internal/sim"
+	"collio/internal/simnet"
+)
+
+func planWorld(t *testing.T, nprocs, rpn int) *mpi.World {
+	t.Helper()
+	k := sim.NewKernel(1)
+	net := simnet.New(k, simnet.Config{
+		Nodes:          (nprocs + rpn - 1) / rpn,
+		InterBandwidth: 1e9, IntraBandwidth: 1e9, MemBandwidth: 1e9,
+	})
+	w, err := mpi.NewWorld(k, net, mpi.DefaultConfig(nprocs, rpn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func denseRandomView(t *testing.T, nprocs int, total int64, seed int64) *JobView {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ranks := make([]RankView, nprocs)
+	pos := int64(0)
+	for pos < total {
+		n := int64(rng.Intn(5000) + 1)
+		if pos+n > total {
+			n = total - pos
+		}
+		r := rng.Intn(nprocs)
+		ranks[r].Extents = append(ranks[r].Extents, datatype.Extent{Off: pos, Len: n})
+		pos += n
+	}
+	jv, err := NewJobView(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jv
+}
+
+// TestPlanInvariants checks, for random dense views and varying
+// geometry, that the planner's send and receive maps are exact duals
+// and tile each cycle window completely.
+func TestPlanInvariants(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		nprocs := 2 + trial%7
+		rpn := 1 + trial%3
+		w := planWorld(t, nprocs, rpn)
+		total := int64(20_000 + trial*7_919)
+		jv := denseRandomView(t, nprocs, total, int64(trial))
+		window := int64(1<<10 + trial*517)
+		p := buildPlan(jv, w, window, 0, DomainLayout(trial%2))
+
+		// 1. Every rank's bytes are fully scheduled, with local offsets
+		// covering [0, rankSize) exactly.
+		for r := 0; r < nprocs; r++ {
+			var scheduled int64
+			for c := 0; c < p.ncycles; c++ {
+				for _, so := range p.sends[r][c] {
+					var sum int64
+					for _, s := range so.segs {
+						sum += s.len
+					}
+					if sum != so.total {
+						t.Fatalf("trial %d: sendOp total %d != seg sum %d", trial, so.total, sum)
+					}
+					if len(so.segs) != len(so.wsegs) {
+						t.Fatalf("trial %d: segs/wsegs length mismatch", trial)
+					}
+					scheduled += so.total
+				}
+			}
+			if scheduled != jv.Ranks[r].Size() {
+				t.Fatalf("trial %d: rank %d scheduled %d of %d bytes", trial, r, scheduled, jv.Ranks[r].Size())
+			}
+		}
+
+		// 2. Receive maps tile each cycle window exactly: merged
+		// segments == [0, cycleExtent.Len).
+		for a := range p.aggRanks {
+			for c := 0; c < p.ncycles; c++ {
+				ext := p.cycleExtent(a, c)
+				var es []datatype.Extent
+				for _, ro := range p.recvs[a][c] {
+					for _, s := range ro.segs {
+						es = append(es, datatype.Extent{Off: s.off, Len: s.len})
+					}
+				}
+				if ext.Len == 0 {
+					if len(es) != 0 {
+						t.Fatalf("trial %d: empty cycle has receives", trial)
+					}
+					continue
+				}
+				// Sort and merge.
+				for i := 0; i < len(es); i++ {
+					for j := i + 1; j < len(es); j++ {
+						if es[j].Off < es[i].Off {
+							es[i], es[j] = es[j], es[i]
+						}
+					}
+				}
+				if err := datatype.Validate(es); err != nil {
+					t.Fatalf("trial %d: window segments invalid: %v", trial, err)
+				}
+				merged := datatype.Coalesce(es)
+				if len(merged) != 1 || merged[0].Off != 0 || merged[0].Len != ext.Len {
+					t.Fatalf("trial %d: agg %d cycle %d window not tiled: %v (want [0,%d))",
+						trial, a, c, merged, ext.Len)
+				}
+			}
+		}
+
+		// 3. Send/receive duals: total bytes match per (agg, cycle).
+		for a := range p.aggRanks {
+			for c := 0; c < p.ncycles; c++ {
+				var recvSum int64
+				for _, ro := range p.recvs[a][c] {
+					recvSum += ro.total
+				}
+				var sendSum int64
+				for r := 0; r < nprocs; r++ {
+					for _, so := range p.sends[r][c] {
+						if so.agg == a {
+							sendSum += so.total
+						}
+					}
+				}
+				if recvSum != sendSum {
+					t.Fatalf("trial %d: agg %d cycle %d recv %d != send %d", trial, a, c, recvSum, sendSum)
+				}
+			}
+		}
+
+		// 4. The cycle extents of all aggregators tile [start, end):
+		// sorted by offset they must be gapless and non-overlapping.
+		var exts []datatype.Extent
+		for a := range p.aggRanks {
+			for c := 0; c < p.ncycles; c++ {
+				if e := p.cycleExtent(a, c); e.Len > 0 {
+					exts = append(exts, e)
+				}
+			}
+		}
+		for i := 0; i < len(exts); i++ {
+			for j := i + 1; j < len(exts); j++ {
+				if exts[j].Off < exts[i].Off {
+					exts[i], exts[j] = exts[j], exts[i]
+				}
+			}
+		}
+		if err := datatype.Validate(exts); err != nil {
+			t.Fatalf("trial %d: cycle extents overlap: %v", trial, err)
+		}
+		merged := datatype.Coalesce(exts)
+		if len(merged) != 1 || merged[0].Off != p.start || merged[0].End() != p.end {
+			t.Fatalf("trial %d: cycle extents do not tile file: %v", trial, merged)
+		}
+	}
+}
+
+func TestAggregatorSelection(t *testing.T) {
+	w := planWorld(t, 12, 4) // 3 nodes
+	if got := aggregatorRanks(w, 0); len(got) != 3 || got[0] != 0 || got[1] != 4 || got[2] != 8 {
+		t.Fatalf("auto aggregators = %v, want [0 4 8]", got)
+	}
+	if got := aggregatorRanks(w, 5); len(got) != 5 {
+		t.Fatalf("explicit count: %v", got)
+	}
+	if got := aggregatorRanks(w, 100); len(got) != 12 {
+		t.Fatalf("clamped count: %v", got)
+	}
+}
+
+func TestPlanCacheReuse(t *testing.T) {
+	w := planWorld(t, 4, 2)
+	jv := denseRandomView(t, 4, 50_000, 1)
+	p1 := buildPlan(jv, w, 4096, 0, RoundRobinWindows)
+	p2 := buildPlan(jv, w, 4096, 0, RoundRobinWindows)
+	if p1 != p2 {
+		t.Fatal("plan not cached for identical key")
+	}
+	p3 := buildPlan(jv, w, 8192, 0, RoundRobinWindows)
+	if p1 == p3 {
+		t.Fatal("different window shared a plan")
+	}
+}
+
+func TestCycleExtent(t *testing.T) {
+	w := planWorld(t, 2, 2)
+	jv := denseRandomView(t, 2, 10_000, 1)
+	p := buildPlan(jv, w, 3000, 1, ContiguousDomains) // single aggregator, window 3000
+	wantLens := []int64{3000, 3000, 3000, 1000}
+	if p.ncycles != 4 {
+		t.Fatalf("ncycles = %d, want 4", p.ncycles)
+	}
+	for c, want := range wantLens {
+		ext := p.cycleExtent(0, c)
+		if ext.Len != want {
+			t.Fatalf("cycle %d len = %d, want %d", c, ext.Len, want)
+		}
+		if ext.Off != int64(c)*3000 {
+			t.Fatalf("cycle %d off = %d", c, ext.Off)
+		}
+	}
+	if p.cycleExtent(0, 4).Len != 0 {
+		t.Fatal("past-the-end cycle has non-zero extent")
+	}
+}

@@ -1,0 +1,371 @@
+package fcoll
+
+import (
+	"fmt"
+
+	"collio/internal/mpi"
+	"collio/internal/sim"
+	"collio/internal/trace"
+)
+
+// Reader is the file-system interface the collective read engine pulls
+// aggregator windows through.
+type Reader interface {
+	// ReadSync fills buf from [off, off+size) synchronously; the
+	// calling rank blocks outside the MPI library (POSIX pread).
+	ReadSync(r *mpi.Rank, off, size int64, buf []byte)
+	// ReadAsync starts an asynchronous read (aio_read) and returns its
+	// completion future.
+	ReadAsync(r *mpi.Rank, off, size int64, buf []byte) *sim.Future
+}
+
+// RunRead executes a two-phase collective read: per cycle each
+// aggregator reads its file window and scatters the pieces back to
+// their owners — the dual of the collective write, with the paper's
+// overlap algorithms mapped onto (file read, scatter) instead of
+// (shuffle, file write). Collective reads are the extension the paper's
+// related work discusses (view-based I/O read-ahead); only the
+// two-sided primitive is implemented for the scatter.
+//
+// In data mode (jv.Ranks[i].Data non-nil) each rank's buffer is filled
+// with its view's bytes.
+func RunRead(r *mpi.Rank, jv *JobView, file Reader, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.Primitive != TwoSided {
+		return Result{}, fmt.Errorf("fcoll: collective read supports only the two-sided primitive, got %v", opts.Primitive)
+	}
+	if len(jv.Ranks) != r.Size() {
+		return Result{}, fmt.Errorf("fcoll: job view has %d ranks, world has %d", len(jv.Ranks), r.Size())
+	}
+	start := r.Now()
+	r.EnterMPI()
+	defer r.ExitMPI()
+
+	ex := &readExec{
+		r: r, jv: jv, file: file, opts: opts,
+		dataMode: jv.Ranks[r.ID()].Data != nil || jv.DataMode(),
+	}
+	ex.setup()
+	switch opts.Algorithm {
+	case NoOverlap:
+		ex.runNoOverlap()
+	case CommOverlap:
+		ex.runScatterOverlap()
+	case WriteOverlap:
+		ex.runReadAhead()
+	case WriteCommOverlap:
+		ex.runReadComm()
+	case WriteComm2Overlap, DataflowOverlap:
+		ex.runReadComm2()
+	default:
+		return Result{}, fmt.Errorf("fcoll: unknown algorithm %v", opts.Algorithm)
+	}
+	r.Barrier()
+	ex.res.Elapsed = r.Now() - start
+	ex.res.Cycles = ex.p.ncycles
+	ex.res.Aggregator = ex.aggIdx >= 0
+	return ex.res, nil
+}
+
+// readExec is the per-rank execution state of one collective read.
+type readExec struct {
+	r        *mpi.Rank
+	jv       *JobView
+	p        *plan
+	file     Reader
+	opts     Options
+	dataMode bool
+	aggIdx   int
+	slots    int
+	bufs     [2][]byte
+	res      Result
+}
+
+func (ex *readExec) setup() {
+	r := ex.r
+	// The same plan-establishment collectives as the write path.
+	counts := r.AllgatherI64(int64(len(ex.jv.Ranks[r.ID()].Extents)))
+	sizes := make([]int64, len(counts))
+	for i, c := range counts {
+		sizes[i] = 16 * c
+	}
+	r.Allgatherv(mpi.Symbolic(sizes[r.ID()]), sizes)
+
+	window := ex.opts.BufferSize
+	ex.slots = 1
+	if ex.opts.Algorithm != NoOverlap {
+		window /= 2
+		ex.slots = 2
+	}
+	ex.p = buildPlan(ex.jv, r.World(), window, ex.opts.Aggregators, ex.opts.Layout)
+	ex.aggIdx = ex.p.aggIndexOf(r.ID())
+	if ex.aggIdx >= 0 && ex.dataMode {
+		for s := 0; s < ex.slots; s++ {
+			ex.bufs[s] = make([]byte, window)
+		}
+	}
+}
+
+func (ex *readExec) chargeCopy(n int64) {
+	if n <= 0 {
+		return
+	}
+	fut := ex.r.World().Network().Memcpy(ex.r.Node(), n)
+	ex.r.WaitFutures(fut)
+}
+
+// readInit starts the asynchronous file read of cycle c's window into
+// slot (nil when this rank reads nothing this cycle).
+func (ex *readExec) readInit(c, slot int) *sim.Future {
+	if ex.aggIdx < 0 {
+		return nil
+	}
+	ext := ex.p.cycleExtent(ex.aggIdx, c)
+	if ext.Len == 0 {
+		return nil
+	}
+	var buf []byte
+	if ex.dataMode {
+		buf = ex.bufs[slot][:ext.Len]
+	}
+	ex.res.BytesWritten += ext.Len // accounted as file traffic
+	fut := ex.file.ReadAsync(ex.r, ext.Off, ext.Len, buf)
+	if ex.opts.Trace != nil {
+		t0 := ex.r.Now()
+		rank, k := ex.r.ID(), ex.r.World().Kernel()
+		tr := ex.opts.Trace
+		fut.OnDone(func() { tr.Record(rank, trace.PhaseRead, c, t0, k.Now()) })
+	}
+	return fut
+}
+
+// readWait completes an asynchronous read, inside MPI.
+func (ex *readExec) readWait(f *sim.Future) {
+	if f == nil {
+		return
+	}
+	t0 := ex.r.Now()
+	ex.r.WaitFutures(f)
+	ex.res.WriteTime += ex.r.Now() - t0
+}
+
+// readSync performs the blocking read (the rank leaves MPI).
+func (ex *readExec) readSync(c, slot int) {
+	if ex.aggIdx < 0 {
+		return
+	}
+	ext := ex.p.cycleExtent(ex.aggIdx, c)
+	if ext.Len == 0 {
+		return
+	}
+	t0 := ex.r.Now()
+	var buf []byte
+	if ex.dataMode {
+		buf = ex.bufs[slot][:ext.Len]
+	}
+	ex.file.ReadSync(ex.r, ext.Off, ext.Len, buf)
+	ex.res.WriteTime += ex.r.Now() - t0
+	ex.res.BytesWritten += ext.Len
+	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseRead, c, t0, ex.r.Now())
+}
+
+// scatter is an in-flight scatter phase (the reverse shuffle).
+type scatter struct {
+	cycle, slot int
+	initAt      sim.Time
+	reqs        []*mpi.Request
+	staged      []scatterRecv
+	unpackBytes int64
+}
+
+type scatterRecv struct {
+	buf []byte
+	op  sendOp // this rank's placement map for the incoming data
+}
+
+// scatterInit posts this rank's receives for its view pieces of cycle c
+// and, on aggregators, packs and sends each destination's data out of
+// the sub-buffer.
+func (ex *readExec) scatterInit(c, slot int) *scatter {
+	t0 := ex.r.Now()
+	sc := &scatter{cycle: c, slot: slot, initAt: t0}
+	r := ex.r
+	tag := ex.opts.TagBase + c
+	ex.r.AlltoallSync(8) // per-cycle size exchange, as in the write path
+
+	// Receive side: every rank's sends-map describes what it gets back.
+	myData := ex.jv.Ranks[r.ID()].Data
+	for _, so := range ex.p.sends[r.ID()][c] {
+		var buf []byte
+		if len(so.segs) == 1 {
+			if ex.dataMode && myData != nil {
+				s := so.segs[0]
+				buf = myData[s.off : s.off+s.len]
+			}
+		} else {
+			if ex.dataMode && myData != nil {
+				buf = make([]byte, so.total)
+			}
+			sc.staged = append(sc.staged, scatterRecv{buf: buf, op: so})
+			sc.unpackBytes += so.total
+		}
+		sc.reqs = append(sc.reqs, r.Irecv(ex.p.aggRanks[so.agg], tag, so.total, buf))
+	}
+	// Send side (aggregators): pack each destination's window segments.
+	if ex.aggIdx >= 0 {
+		for _, ro := range ex.p.recvs[ex.aggIdx][c] {
+			var pl mpi.Payload
+			if ex.dataMode {
+				pl = mpi.Bytes(ex.packWindow(ro, slot))
+			} else {
+				pl = mpi.Symbolic(ro.total)
+				if len(ro.segs) > 1 {
+					ex.chargeCopy(ro.total)
+				}
+			}
+			sc.reqs = append(sc.reqs, r.Isend(ro.src, tag, pl))
+			ex.res.BytesSent += ro.total
+		}
+	}
+	ex.res.ShuffleTime += ex.r.Now() - t0
+	return sc
+}
+
+// packWindow gathers a destination's segments out of the sub-buffer.
+func (ex *readExec) packWindow(ro recvOp, slot int) []byte {
+	if len(ro.segs) == 1 {
+		s := ro.segs[0]
+		return ex.bufs[slot][s.off : s.off+s.len]
+	}
+	out := make([]byte, 0, ro.total)
+	for _, s := range ro.segs {
+		out = append(out, ex.bufs[slot][s.off:s.off+s.len]...)
+	}
+	ex.chargeCopy(ro.total)
+	return out
+}
+
+// scatterWait completes the scatter and unpacks staged receives into
+// the rank's view buffer.
+func (ex *readExec) scatterWait(sc *scatter) {
+	t0 := ex.r.Now()
+	ex.r.Wait(sc.reqs...)
+	if sc.unpackBytes > 0 {
+		if ex.dataMode {
+			myData := ex.jv.Ranks[ex.r.ID()].Data
+			for _, st := range sc.staged {
+				if st.buf == nil || myData == nil {
+					continue
+				}
+				var src int64
+				for _, s := range st.op.segs {
+					copy(myData[s.off:s.off+s.len], st.buf[src:src+s.len])
+					src += s.len
+				}
+			}
+		}
+		ex.chargeCopy(sc.unpackBytes)
+	}
+	ex.res.ShuffleTime += ex.r.Now() - t0
+	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseShuffle, sc.cycle, sc.initAt, ex.r.Now())
+}
+
+func (ex *readExec) scatterBlocking(c, slot int) {
+	ex.scatterWait(ex.scatterInit(c, slot))
+}
+
+// runNoOverlap: read the window, scatter it, repeat.
+func (ex *readExec) runNoOverlap() {
+	for c := 0; c < ex.p.ncycles; c++ {
+		ex.readSync(c, 0)
+		ex.scatterBlocking(c, 0)
+	}
+}
+
+// runScatterOverlap is the CommOverlap dual: blocking reads,
+// non-blocking scatters — the scatter of cycle c runs while cycle c+1
+// is read (and stalls while the aggregator sits in the blocking pread,
+// the same §III-A progress effect as for writes).
+func (ex *readExec) runScatterOverlap() {
+	n := ex.p.ncycles
+	var sc [2]*scatter
+	ex.readSync(0, 0)
+	sc[0] = ex.scatterInit(0, 0)
+	for c := 1; c < n; c++ {
+		s := c % 2
+		if sc[s] != nil {
+			ex.scatterWait(sc[s]) // buffer reuse: previous scatter done
+			sc[s] = nil
+		}
+		ex.readSync(c, s)
+		sc[s] = ex.scatterInit(c, s)
+	}
+	for _, s := range sc {
+		if s != nil {
+			ex.scatterWait(s)
+		}
+	}
+}
+
+// runReadAhead is the WriteOverlap dual: asynchronous reads, blocking
+// scatters — cycle c+1 is prefetched by the OS while cycle c scatters
+// (the read-ahead of view-based collective I/O).
+func (ex *readExec) runReadAhead() {
+	n := ex.p.ncycles
+	var rd [2]*sim.Future
+	rd[0] = ex.readInit(0, 0)
+	for c := 0; c < n; c++ {
+		s := c % 2
+		ex.readWait(rd[s])
+		rd[s] = nil
+		if c+1 < n {
+			rd[1-s] = ex.readInit(c+1, 1-s)
+		}
+		ex.scatterBlocking(c, s)
+	}
+}
+
+// runReadComm is the WriteCommOverlap dual: both phases non-blocking,
+// waited together each cycle.
+func (ex *readExec) runReadComm() {
+	n := ex.p.ncycles
+	ex.readSync(0, 0)
+	for c := 1; c < n; c++ {
+		s := c % 2
+		rd := ex.readInit(c, s)
+		sc := ex.scatterInit(c-1, 1-s)
+		ex.scatterWait(sc)
+		ex.readWait(rd)
+	}
+	ex.scatterBlocking(n-1, (n-1)%2)
+}
+
+// runReadComm2 is the WriteComm2 dual: a two-deep pipeline where every
+// completion immediately posts its successor.
+func (ex *readExec) runReadComm2() {
+	n := ex.p.ncycles
+	var rd [2]*sim.Future
+	var sc [2]*scatter
+	rd[0] = ex.readInit(0, 0)
+	for c := 0; c < n; c++ {
+		s := c % 2
+		ex.readWait(rd[s])
+		rd[s] = nil
+		if c+1 < n {
+			o := 1 - s
+			if sc[o] != nil {
+				ex.scatterWait(sc[o]) // free the other buffer first
+				sc[o] = nil
+			}
+			rd[o] = ex.readInit(c+1, o)
+		}
+		sc[s] = ex.scatterInit(c, s)
+	}
+	for _, s := range sc {
+		if s != nil {
+			ex.scatterWait(s)
+		}
+	}
+}

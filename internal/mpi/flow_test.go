@@ -1,0 +1,43 @@
+package mpi
+
+import (
+	"testing"
+
+	"collio/internal/sim"
+)
+
+func TestTwoFlowRendezvous(t *testing.T) {
+	var times []sim.Time
+	for _, nsend := range []int{1, 2, 4} {
+		k, w := testWorld(t, nsend+1, nsend+1, 1, func(c *Config) {
+			c.EagerLimit = 512 << 10
+			c.RendezvousChunk = 1 << 20
+		})
+		var done sim.Time
+		size := int64(32<<20) / int64(nsend)
+		w.Launch(func(r *Rank) {
+			if r.ID() == 0 {
+				var reqs []*Request
+				for s := 1; s <= nsend; s++ {
+					reqs = append(reqs, r.Irecv(s, 0, size, nil))
+				}
+				r.Wait(reqs...)
+				done = r.Now()
+			} else {
+				r.Send(0, 0, Symbolic(size))
+			}
+		})
+		k.Run()
+		times = append(times, done)
+	}
+	// Moving the same 32 MiB through 1, 2 or 4 concurrent rendezvous
+	// flows must achieve (nearly) the same aggregate bandwidth: the
+	// pipeline may not serialise flows against each other.
+	for i := 1; i < len(times); i++ {
+		ratio := float64(times[i]) / float64(times[0])
+		if ratio > 1.10 {
+			t.Fatalf("%d-flow transfer %.2fx slower than single flow (%v vs %v)",
+				1<<i, ratio, times[i], times[0])
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"collio/internal/sim"
+)
+
+func TestLockPutBounceCost(t *testing.T) {
+	run := func(lock bool) sim.Time {
+		k, w := testWorld(t, 2, 1, 1, nil)
+		var done sim.Time
+		w.Launch(func(r *Rank) {
+			size := int64(0)
+			if r.ID() == 1 {
+				size = 16 << 20
+			}
+			win := r.WinAllocate(size, false)
+			if r.ID() == 0 {
+				if lock {
+					r.WinLock(win, LockShared, 1)
+					r.Put(win, 1, 0, Symbolic(16<<20))
+					r.WinUnlock(win, 1)
+				} else {
+					r.WinFence(win)
+					r.Put(win, 1, 0, Symbolic(16<<20))
+					r.WinFence(win)
+				}
+				done = r.Now()
+			} else {
+				if !lock {
+					r.WinFence(win)
+					r.WinFence(win)
+				}
+			}
+			r.Barrier()
+		})
+		k.Run()
+		return done
+	}
+	l, f := run(true), run(false)
+	fmt.Printf("lock=%v fence=%v\n", l, f)
+	if l <= f {
+		t.Fatalf("lock-mode put (%v) should be slower than fence-mode (%v): bounce copy missing", l, f)
+	}
+}

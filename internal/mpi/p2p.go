@@ -1,0 +1,139 @@
+package mpi
+
+import (
+	"fmt"
+
+	"collio/internal/sim"
+)
+
+// Request is a non-blocking operation handle, the analogue of
+// MPI_Request.
+type Request struct {
+	fut   *sim.Future
+	rank  *Rank // owning rank
+	recv  bool
+	peer  int // source for receives, destination for sends
+	tag   int
+	pl    Payload // send payload
+	buf   []byte  // receive destination (nil in symbolic mode)
+	size  int64   // receive capacity
+	recvd int64   // bytes actually received
+}
+
+// Done reports whether the operation has completed.
+func (q *Request) Done() bool { return q.fut.Done() }
+
+// Received returns the number of bytes received (receives only).
+func (q *Request) Received() int64 { return q.recvd }
+
+// Future exposes the underlying completion, for WaitAny-style dataflow
+// loops in the collective engine.
+func (q *Request) Future() *sim.Future { return q.fut }
+
+// Isend starts a non-blocking send of pl to rank dst with the given tag
+// and returns its request. Messages below the eager limit are injected
+// immediately and buffered at the receiver if unmatched; larger messages
+// use a rendezvous handshake that requires the receiver (and the sender,
+// for the CTS) to make MPI progress.
+func (r *Rank) Isend(dst, tag int, pl Payload) *Request {
+	if dst < 0 || dst >= r.w.cfg.NProcs {
+		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
+	}
+	e := r.eng
+	e.enter()
+	defer e.exit()
+	cfg := &r.w.cfg
+	r.p.Sleep(cfg.CallOverhead)
+
+	if pl.Data != nil {
+		// Snapshot the payload: MPI lets the sender reuse its buffer
+		// once the send completes locally, while the simulator delivers
+		// bytes later in virtual time. (Host-memory copy only; the
+		// modelled time is unchanged — timing costs for copies are
+		// charged explicitly by the callers.)
+		pl = Bytes(append([]byte(nil), pl.Data...))
+	}
+	req := &Request{fut: r.w.k.NewFuture(), rank: r, peer: dst, tag: tag, pl: pl}
+	dstRank := r.w.ranks[dst]
+	if pl.Size < cfg.EagerLimit {
+		tr := r.w.net.Send(r.node, dstRank.node, pl.Size+cfg.CtrlBytes)
+		tr.Injected.OnDone(req.fut.Complete)
+		tr.Delivered.OnDone(func() {
+			dstRank.eng.arrive(&eagerPkt{src: r.id, tag: tag, pl: pl})
+		})
+	} else {
+		tr := r.w.net.Send(r.node, dstRank.node, cfg.CtrlBytes)
+		tr.Delivered.OnDone(func() {
+			dstRank.eng.arrive(&rtsPkt{src: r.id, tag: tag, size: pl.Size, sreq: req})
+		})
+	}
+	return req
+}
+
+// Irecv posts a non-blocking receive of up to size bytes from rank src
+// with the given tag. buf, when non-nil, receives the message bytes
+// (data mode); it must be at least size long.
+func (r *Rank) Irecv(src, tag int, size int64, buf []byte) *Request {
+	if src < 0 || src >= r.w.cfg.NProcs {
+		panic(fmt.Sprintf("mpi: Irecv from invalid rank %d", src))
+	}
+	if buf != nil && int64(len(buf)) < size {
+		panic("mpi: Irecv buffer smaller than size")
+	}
+	e := r.eng
+	e.enter()
+	defer e.exit()
+	cfg := &r.w.cfg
+	req := &Request{fut: r.w.k.NewFuture(), rank: r, recv: true, peer: src, tag: tag, size: size, buf: buf}
+	cost := cfg.CallOverhead + e.postRecv(req)
+	r.p.Sleep(cost)
+	return req
+}
+
+// Wait blocks until every request has completed. The rank is inside the
+// MPI library for the duration, so protocol progress (matching,
+// rendezvous handshakes) continues while it waits.
+func (r *Rank) Wait(reqs ...*Request) {
+	e := r.eng
+	e.enter()
+	defer e.exit()
+	for _, q := range reqs {
+		if q == nil {
+			continue
+		}
+		r.p.Wait(q.fut)
+	}
+}
+
+// WaitFutures blocks inside MPI until all futures complete. Used by the
+// collective-write engine for mixed communication/IO waits where IO
+// completions arrive while the rank keeps making MPI progress
+// (MPI_File_iwrite + MPI_Wait semantics).
+func (r *Rank) WaitFutures(fs ...*sim.Future) {
+	e := r.eng
+	e.enter()
+	defer e.exit()
+	r.p.WaitAll(fs...)
+}
+
+// WaitAnyFuture blocks inside MPI until one of fs completes, returning
+// its index.
+func (r *Rank) WaitAnyFuture(fs ...*sim.Future) int {
+	e := r.eng
+	e.enter()
+	defer e.exit()
+	return r.p.WaitAny(fs...)
+}
+
+// Send is a blocking send (Isend + Wait).
+func (r *Rank) Send(dst, tag int, pl Payload) {
+	r.Wait(r.Isend(dst, tag, pl))
+}
+
+// Recv is a blocking receive (Irecv + Wait); it returns the number of
+// bytes received.
+func (r *Rank) Recv(src, tag int, size int64, buf []byte) int64 {
+	q := r.Irecv(src, tag, size, buf)
+	r.Wait(q)
+	return q.recvd
+}

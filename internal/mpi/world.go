@@ -1,0 +1,239 @@
+// Package mpi implements a message-passing runtime with MPI semantics on
+// top of the discrete-event simulation kernel. It is the substitute for
+// Open MPI + UCX in the reproduced paper: ranks are simulated processes,
+// point-to-point transfers follow an eager/rendezvous protocol with an
+// unexpected-message queue, collectives are built from point-to-point
+// messages, and one-sided communication (Put with fence or lock/unlock
+// synchronisation) maps onto RDMA-style transfers that bypass the target
+// process.
+//
+// The runtime reproduces the progress behaviour the paper's analysis
+// depends on: protocol actions on behalf of a rank (matching, rendezvous
+// handshakes, completion detection) only happen while that rank is inside
+// an MPI call, unless a progress thread is configured. A rank blocked in
+// a POSIX-style file write therefore stalls rendezvous transfers
+// addressed to it — the very effect that separates the paper's overlap
+// algorithms.
+package mpi
+
+import (
+	"fmt"
+
+	"collio/internal/sim"
+	"collio/internal/simnet"
+)
+
+// Config holds the tunables of the MPI runtime.
+type Config struct {
+	// NProcs is the number of ranks.
+	NProcs int
+	// RanksPerNode controls the block mapping of ranks onto nodes
+	// (ranks r*RanksPerNode .. (r+1)*RanksPerNode-1 share node r).
+	RanksPerNode int
+	// EagerLimit is the message size (bytes) at and above which the
+	// rendezvous protocol is used. The paper's platform switches at
+	// 512 KiB (Open MPI master + UCX 1.6.1 on InfiniBand).
+	EagerLimit int64
+	// CallOverhead is the fixed software cost charged for entering an
+	// MPI operation.
+	CallOverhead sim.Time
+	// MatchCost is the cost per queue entry scanned during message
+	// matching (posted-receive or unexpected-message queue).
+	MatchCost sim.Time
+	// HandlerCost is the fixed cost to process one incoming protocol
+	// packet.
+	HandlerCost sim.Time
+	// CtrlBytes is the wire size of a protocol control message
+	// (RTS/CTS/lock traffic).
+	CtrlBytes int64
+	// RMAAgentDelay is the processing time of one lock/unlock request
+	// at the target's passive-target RMA agent. The agent runs
+	// asynchronously to the target process but serialises requests:
+	// with many concurrent origins (fragmented workloads at scale) the
+	// agent queue becomes the lock variant's bottleneck.
+	RMAAgentDelay sim.Time
+	// PutOverhead is the origin-side software cost of issuing one Put.
+	// It is lower than send/recv costs because no matching occurs.
+	PutOverhead sim.Time
+	// RendezvousChunk is the pipeline granularity of rendezvous bulk
+	// transfers: after each chunk, the receiver's progress engine must
+	// act before the next chunk moves. Zero disables pipelining
+	// (single-shot hardware transfer).
+	RendezvousChunk int64
+	// RendezvousDepth is the number of pipeline chunks in flight per
+	// transfer (registration-pipeline depth). Higher depth keeps the
+	// wire busier and tolerates brief receiver absence; progress still
+	// stalls once the window drains while the receiver is out of MPI.
+	RendezvousDepth int
+	// FenceCost is the per-call overhead of MPI_Win_fence beyond the
+	// barrier: closing an exposure epoch requires window-wide
+	// completion accounting (reduce-scatter of RMA counts and remote
+	// flushes in real implementations), which is why the paper calls
+	// fence "an expensive operation" (§III-B.2a).
+	FenceCost sim.Time
+	// ProgressThread, when true, lets protocol handling proceed even
+	// while the owning rank is outside MPI (models an asynchronous
+	// progress thread).
+	ProgressThread bool
+}
+
+// DefaultConfig returns a configuration with calibration-neutral
+// defaults; platform models override the performance-relevant fields.
+func DefaultConfig(nprocs, ranksPerNode int) Config {
+	return Config{
+		NProcs:        nprocs,
+		RanksPerNode:  ranksPerNode,
+		EagerLimit:    512 << 10,
+		CallOverhead:  300 * sim.Nanosecond,
+		MatchCost:     60 * sim.Nanosecond,
+		HandlerCost:   150 * sim.Nanosecond,
+		CtrlBytes:     64,
+		RMAAgentDelay: 3 * sim.Microsecond,
+		PutOverhead:   150 * sim.Nanosecond,
+		// 1 MiB pipeline chunks at depth 4, the registration-pipeline
+		// shape of UCX-era rendezvous implementations.
+		RendezvousChunk: 1 << 20,
+		RendezvousDepth: 4,
+		FenceCost:       250 * sim.Microsecond,
+	}
+}
+
+func (c *Config) validate(nodes int) error {
+	if c.NProcs <= 0 {
+		return fmt.Errorf("mpi: NProcs must be positive, got %d", c.NProcs)
+	}
+	if c.RanksPerNode <= 0 {
+		return fmt.Errorf("mpi: RanksPerNode must be positive, got %d", c.RanksPerNode)
+	}
+	need := (c.NProcs + c.RanksPerNode - 1) / c.RanksPerNode
+	if need > nodes {
+		return fmt.Errorf("mpi: %d ranks at %d per node need %d nodes, network has %d",
+			c.NProcs, c.RanksPerNode, need, nodes)
+	}
+	return nil
+}
+
+// World is a set of ranks sharing one network and one configuration —
+// the equivalent of MPI_COMM_WORLD.
+type World struct {
+	k     *sim.Kernel
+	net   *simnet.Network
+	cfg   Config
+	ranks []*Rank
+
+	windows  []*Window
+	finished int
+	finishAt sim.Time
+	started  bool
+}
+
+// NewWorld creates the rank set. Ranks do not run until Launch.
+func NewWorld(k *sim.Kernel, net *simnet.Network, cfg Config) (*World, error) {
+	if err := cfg.validate(net.NumNodes()); err != nil {
+		return nil, err
+	}
+	w := &World{k: k, net: net, cfg: cfg}
+	for i := 0; i < cfg.NProcs; i++ {
+		r := &Rank{
+			w:    w,
+			id:   i,
+			node: i / cfg.RanksPerNode,
+		}
+		r.eng = newEngine(r)
+		w.ranks = append(w.ranks, r)
+	}
+	return w, nil
+}
+
+// Kernel returns the simulation kernel.
+func (w *World) Kernel() *sim.Kernel { return w.k }
+
+// Network returns the interconnect.
+func (w *World) Network() *simnet.Network { return w.net }
+
+// Config returns the runtime configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.cfg.NProcs }
+
+// Rank returns rank i's handle (mostly for tests and tools).
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Launch starts every rank running body. Call kernel.Run afterwards;
+// Elapsed reports when the slowest rank finished.
+func (w *World) Launch(body func(r *Rank)) {
+	if w.started {
+		panic("mpi: World launched twice")
+	}
+	w.started = true
+	for _, r := range w.ranks {
+		r := r
+		r.p = w.k.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			body(r)
+			w.finished++
+			if t := p.Now(); t > w.finishAt {
+				w.finishAt = t
+			}
+		})
+	}
+}
+
+// Elapsed returns the virtual time at which the last rank finished. It
+// is valid after kernel.Run has returned.
+func (w *World) Elapsed() sim.Time {
+	if w.finished != w.cfg.NProcs {
+		panic(fmt.Sprintf("mpi: Elapsed called with %d/%d ranks finished", w.finished, w.cfg.NProcs))
+	}
+	return w.finishAt
+}
+
+// Rank is one simulated MPI process.
+type Rank struct {
+	w    *World
+	id   int
+	node int
+	p    *sim.Proc
+	eng  *engine
+
+	winCalls int         // WinAllocate call counter (collective-order matching)
+	rmaAgent *sim.Server // passive-target RMA agent (lock/unlock serialisation)
+
+	// Accounting: time spent inside communication operations vs file
+	// I/O (set by the mpiio layer), used for the paper's §IV-A
+	// comm/IO breakdown experiment.
+	CommTime sim.Time
+	IOTime   sim.Time
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Node returns the compute node this rank runs on.
+func (r *Rank) Node() int { return r.node }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.cfg.NProcs }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.w }
+
+// Proc returns the underlying simulated process.
+func (r *Rank) Proc() *sim.Proc { return r.p }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.p.Now() }
+
+// Compute advances the rank by d outside the MPI library: no protocol
+// progress happens on this rank's behalf during the interval (unless a
+// progress thread is configured).
+func (r *Rank) Compute(d sim.Time) { r.p.Sleep(d) }
+
+// EnterMPI / ExitMPI expose the progress scope for composite operations
+// (the collective-write engine holds the rank inside MPI for the whole
+// collective except during blocking file writes).
+func (r *Rank) EnterMPI() { r.eng.enter() }
+func (r *Rank) ExitMPI()  { r.eng.exit() }
+
+// InMPI reports whether the rank is currently inside the MPI library.
+func (r *Rank) InMPI() bool { return r.eng.inMPI > 0 }

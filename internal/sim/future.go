@@ -1,0 +1,168 @@
+package sim
+
+// Future is a one-shot completion that processes can wait on. It is the
+// simulation analogue of an MPI_Request / aio control block: an operation
+// is initiated, a Future is returned, and completion is signalled later
+// from kernel context (a network delivery, a storage target finishing)
+// or from another process.
+//
+// Futures carry an optional error and an optional completion time, which
+// lets callers measure when the underlying operation actually finished
+// even if they wait much later.
+type Future struct {
+	k        *Kernel
+	done     bool
+	err      error
+	doneAt   Time
+	waiters  []*Proc
+	onDone   []func()
+	hasValue bool
+	value    interface{}
+}
+
+// NewFuture returns an incomplete future bound to k.
+func (k *Kernel) NewFuture() *Future { return &Future{k: k} }
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Err returns the error the future completed with, if any.
+func (f *Future) Err() error { return f.err }
+
+// DoneAt returns the virtual time at which the future completed. It is
+// only meaningful once Done() is true.
+func (f *Future) DoneAt() Time { return f.doneAt }
+
+// Value returns the value attached via CompleteValue, or nil.
+func (f *Future) Value() interface{} { return f.value }
+
+// Complete marks the future done at the current virtual time and
+// schedules all waiters to resume. Completing an already-complete future
+// panics — it indicates a protocol bug in the caller.
+func (f *Future) Complete() { f.complete(nil, nil, false) }
+
+// Fail completes the future with an error.
+func (f *Future) Fail(err error) { f.complete(err, nil, false) }
+
+// CompleteValue completes the future carrying a value.
+func (f *Future) CompleteValue(v interface{}) { f.complete(nil, v, true) }
+
+func (f *Future) complete(err error, v interface{}, hasV bool) {
+	if f.done {
+		panic("sim: Future completed twice")
+	}
+	f.done = true
+	f.err = err
+	f.doneAt = f.k.now
+	if hasV {
+		f.hasValue = true
+		f.value = v
+	}
+	// Waiters and callbacks are resumed via zero-delay events rather than
+	// inline, so that a process completing a future while running never
+	// results in two simultaneously-running processes.
+	for _, cb := range f.onDone {
+		cb := cb
+		f.k.After(0, cb)
+	}
+	f.onDone = nil
+	for _, p := range f.waiters {
+		p := p
+		f.k.After(0, func() { f.k.dispatch(p) })
+	}
+	f.waiters = nil
+}
+
+// OnDone registers fn to run (in kernel context) when the future
+// completes. If the future is already complete, fn is scheduled
+// immediately.
+func (f *Future) OnDone(fn func()) {
+	if f.done {
+		f.k.After(0, fn)
+		return
+	}
+	f.onDone = append(f.onDone, fn)
+}
+
+// Wait blocks the calling process until the future completes and returns
+// its error.
+func (p *Proc) Wait(f *Future) error {
+	if !f.done {
+		f.waiters = append(f.waiters, p)
+		p.block()
+	}
+	return f.err
+}
+
+// WaitAll blocks until every future in fs has completed and returns the
+// first error encountered (in slice order).
+func (p *Proc) WaitAll(fs ...*Future) error {
+	var first error
+	for _, f := range fs {
+		if f == nil {
+			continue
+		}
+		if err := p.Wait(f); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitAny blocks until at least one future in fs has completed and
+// returns the index of a completed future. fs must be non-empty.
+func (p *Proc) WaitAny(fs ...*Future) int {
+	for i, f := range fs {
+		if f != nil && f.done {
+			return i
+		}
+	}
+	agg := p.k.NewFuture()
+	for _, f := range fs {
+		if f == nil {
+			continue
+		}
+		f.OnDone(func() {
+			if !agg.done {
+				agg.Complete()
+			}
+		})
+	}
+	p.Wait(agg)
+	for i, f := range fs {
+		if f != nil && f.done {
+			return i
+		}
+	}
+	panic("sim: WaitAny woke with no completed future")
+}
+
+// Join returns a future that completes when all of fs have completed.
+func (k *Kernel) Join(fs ...*Future) *Future {
+	out := k.NewFuture()
+	n := 0
+	for _, f := range fs {
+		if f != nil && !f.done {
+			n++
+		}
+	}
+	if n == 0 {
+		// Everything already done: complete via event to preserve the
+		// "completion happens from kernel context" discipline.
+		k.After(0, out.Complete)
+		return out
+	}
+	remaining := n
+	for _, f := range fs {
+		if f == nil || f.done {
+			continue
+		}
+		f.OnDone(func() {
+			remaining--
+			if remaining == 0 {
+				out.Complete()
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFutureWaitBeforeComplete(t *testing.T) {
+	k := NewKernel(1)
+	f := k.NewFuture()
+	var woke Time
+	k.Spawn("w", func(p *Proc) {
+		p.Wait(f)
+		woke = p.Now()
+	})
+	k.At(100, f.Complete)
+	k.Run()
+	if woke != 100 {
+		t.Fatalf("waiter woke at %v, want 100", woke)
+	}
+	if f.DoneAt() != 100 {
+		t.Fatalf("DoneAt = %v, want 100", f.DoneAt())
+	}
+}
+
+func TestFutureWaitAfterComplete(t *testing.T) {
+	k := NewKernel(1)
+	f := k.NewFuture()
+	k.At(10, f.Complete)
+	var woke Time
+	k.Spawn("w", func(p *Proc) {
+		p.Sleep(50)
+		p.Wait(f) // already done: should not block
+		woke = p.Now()
+	})
+	k.Run()
+	if woke != 50 {
+		t.Fatalf("waiter woke at %v, want 50 (no extra blocking)", woke)
+	}
+}
+
+func TestFutureError(t *testing.T) {
+	k := NewKernel(1)
+	f := k.NewFuture()
+	sentinel := errors.New("boom")
+	k.At(5, func() { f.Fail(sentinel) })
+	var got error
+	k.Spawn("w", func(p *Proc) { got = p.Wait(f) })
+	k.Run()
+	if got != sentinel {
+		t.Fatalf("Wait error = %v, want sentinel", got)
+	}
+}
+
+func TestFutureValue(t *testing.T) {
+	k := NewKernel(1)
+	f := k.NewFuture()
+	k.At(5, func() { f.CompleteValue(42) })
+	k.Run()
+	if f.Value() != 42 {
+		t.Fatalf("Value = %v, want 42", f.Value())
+	}
+}
+
+func TestFutureDoubleCompletePanics(t *testing.T) {
+	k := NewKernel(1)
+	f := k.NewFuture()
+	k.At(1, f.Complete)
+	k.At(2, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second Complete did not panic")
+			}
+		}()
+		f.Complete()
+	})
+	k.Run()
+}
+
+func TestWaitAll(t *testing.T) {
+	k := NewKernel(1)
+	f1, f2, f3 := k.NewFuture(), k.NewFuture(), k.NewFuture()
+	k.At(10, f1.Complete)
+	k.At(30, f3.Complete)
+	k.At(20, f2.Complete)
+	var woke Time
+	k.Spawn("w", func(p *Proc) {
+		if err := p.WaitAll(f1, nil, f2, f3); err != nil {
+			t.Errorf("WaitAll error: %v", err)
+		}
+		woke = p.Now()
+	})
+	k.Run()
+	if woke != 30 {
+		t.Fatalf("WaitAll woke at %v, want 30", woke)
+	}
+}
+
+func TestWaitAllFirstError(t *testing.T) {
+	k := NewKernel(1)
+	f1, f2 := k.NewFuture(), k.NewFuture()
+	e1, e2 := errors.New("one"), errors.New("two")
+	k.At(10, func() { f1.Fail(e1) })
+	k.At(20, func() { f2.Fail(e2) })
+	var got error
+	k.Spawn("w", func(p *Proc) { got = p.WaitAll(f1, f2) })
+	k.Run()
+	if got != e1 {
+		t.Fatalf("WaitAll error = %v, want first error", got)
+	}
+}
+
+func TestWaitAny(t *testing.T) {
+	k := NewKernel(1)
+	f1, f2 := k.NewFuture(), k.NewFuture()
+	k.At(50, f1.Complete)
+	k.At(10, f2.Complete)
+	var idx int
+	var woke Time
+	k.Spawn("w", func(p *Proc) {
+		idx = p.WaitAny(f1, f2)
+		woke = p.Now()
+	})
+	k.Run()
+	if idx != 1 {
+		t.Fatalf("WaitAny index = %d, want 1", idx)
+	}
+	if woke != 10 {
+		t.Fatalf("WaitAny woke at %v, want 10", woke)
+	}
+}
+
+func TestWaitAnyAlreadyDone(t *testing.T) {
+	k := NewKernel(1)
+	f1, f2 := k.NewFuture(), k.NewFuture()
+	k.At(1, f1.Complete)
+	k.Spawn("w", func(p *Proc) {
+		p.Sleep(5)
+		if idx := p.WaitAny(f1, f2); idx != 0 {
+			t.Errorf("WaitAny = %d, want 0", idx)
+		}
+		if p.Now() != 5 {
+			t.Errorf("WaitAny blocked until %v, want 5", p.Now())
+		}
+	})
+	k.At(100, f2.Complete) // keep queue alive so f2 eventually completes
+	k.Run()
+}
+
+func TestJoin(t *testing.T) {
+	k := NewKernel(1)
+	f1, f2 := k.NewFuture(), k.NewFuture()
+	k.At(10, f1.Complete)
+	k.At(40, f2.Complete)
+	j := k.Join(f1, f2)
+	k.Run()
+	if !j.Done() || j.DoneAt() != 40 {
+		t.Fatalf("Join done=%v at %v, want done at 40", j.Done(), j.DoneAt())
+	}
+}
+
+func TestJoinEmptyAndDone(t *testing.T) {
+	k := NewKernel(1)
+	f := k.NewFuture()
+	k.At(1, f.Complete)
+	done := false
+	k.At(2, func() {
+		j := k.Join(f)
+		j.OnDone(func() { done = true })
+	})
+	k.Run()
+	if !done {
+		t.Fatal("Join of completed futures never completed")
+	}
+}
+
+func TestOnDoneAfterCompletion(t *testing.T) {
+	k := NewKernel(1)
+	f := k.NewFuture()
+	k.At(1, f.Complete)
+	called := false
+	k.At(5, func() { f.OnDone(func() { called = true }) })
+	k.Run()
+	if !called {
+		t.Fatal("OnDone on completed future never ran")
+	}
+}

@@ -1,0 +1,225 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel used as the execution substrate for the simulated cluster.
+//
+// The kernel advances a virtual clock (nanosecond resolution) by firing
+// events in (time, sequence) order. Two kinds of activity coexist:
+//
+//   - Callback events, run inline in the kernel goroutine. These are used
+//     for resource bookkeeping (network deliveries, storage completions).
+//   - Processes (Proc), long-running coroutines representing MPI ranks or
+//     OS service threads. Processes run on their own goroutines but the
+//     kernel guarantees that at most one entity (kernel or a single
+//     process) executes at any moment, which makes the simulation fully
+//     deterministic for a fixed seed.
+//
+// Determinism is load-bearing: every experiment in this repository is
+// reproducible bit-for-bit given its seed, which is how the statistical
+// methodology of the reproduced paper (multi-seed series, min-of-series)
+// is implemented.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event simulation engine. A Kernel is not safe for
+// use from multiple user goroutines; all interaction happens either from
+// the goroutine calling Run (via callback events) or from Proc coroutines
+// managed by the kernel itself.
+type Kernel struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	yield  chan struct{} // a running Proc signals here when it blocks/exits
+	rng    *rand.Rand
+	nprocs int // live process count (debugging / deadlock detection)
+
+	// stopped is set by Stop; Run drains no further events.
+	stopped bool
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// The same seed always produces the same simulation trajectory.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from kernel or process context.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+d, fn)
+}
+
+// Stop aborts the simulation: Run returns after the current event.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run fires events in order until the event queue is empty or Stop is
+// called. It returns the final virtual time.
+func (k *Kernel) Run() Time {
+	for !k.stopped && len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.at
+		e.fn()
+	}
+	if !k.stopped && k.nprocs > 0 {
+		panic(fmt.Sprintf("sim: deadlock — %d process(es) still blocked with no pending events at t=%v", k.nprocs, k.now))
+	}
+	return k.now
+}
+
+// Proc is a simulated sequential process (an MPI rank, an OS helper
+// thread). Its body runs on a dedicated goroutine, but the kernel ensures
+// at most one process runs at a time, so process code needs no locking
+// against other processes.
+type Proc struct {
+	k    *Kernel
+	name string
+	wake chan struct{}
+	done bool
+}
+
+// Spawn creates a process running fn and schedules it to start at the
+// current virtual time.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, wake: make(chan struct{})}
+	k.nprocs++
+	go func() {
+		<-p.wake // wait for first dispatch
+		fn(p)
+		p.done = true
+		k.nprocs--
+		k.yield <- struct{}{} // return control to the kernel
+	}()
+	k.After(0, func() { k.dispatch(p) })
+	return p
+}
+
+// SpawnAt is Spawn with a start delay.
+func (k *Kernel) SpawnAt(d Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, wake: make(chan struct{})}
+	k.nprocs++
+	go func() {
+		<-p.wake
+		fn(p)
+		p.done = true
+		k.nprocs--
+		k.yield <- struct{}{}
+	}()
+	k.After(d, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch hands the CPU to p and waits until p blocks or exits. It must
+// be called from kernel (event-callback) context only.
+func (k *Kernel) dispatch(p *Proc) {
+	p.wake <- struct{}{}
+	<-k.yield
+}
+
+// Kernel returns the kernel that owns p.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// block parks the calling process until another entity calls
+// k.dispatch(p) again (via a scheduled event).
+func (p *Proc) block() {
+	p.k.yield <- struct{}{}
+	<-p.wake
+}
+
+// Sleep advances the process by d of virtual time (e.g. a compute phase
+// or memory-copy cost).
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		// Still yield so that other same-time events interleave fairly.
+		d = 0
+	}
+	k := p.k
+	k.After(d, func() { k.dispatch(p) })
+	p.block()
+}
+
+// Yield relinquishes the CPU until all events already scheduled for the
+// current instant have run.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	end := k.Run()
+	if end != 30 {
+		t.Fatalf("end time = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEventTieBreakBySubmissionOrder(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of submission order: %v", got)
+		}
+	}
+}
+
+func TestAtClampsToNow(t *testing.T) {
+	k := NewKernel(1)
+	fired := Time(-1)
+	k.At(100, func() {
+		k.At(50, func() { fired = k.Now() }) // in the past: clamp to 100
+	})
+	k.Run()
+	if fired != 100 {
+		t.Fatalf("past event fired at %v, want clamped to 100", fired)
+	}
+}
+
+func TestAfterNegativeDelay(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.After(-5, func() { fired = true })
+	k.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	k.At(1, func() { n++; k.Stop() })
+	k.At(2, func() { n++ })
+	k.Run()
+	if n != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", n)
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	k := NewKernel(1)
+	var t1, t2 Time
+	k.Spawn("p", func(p *Proc) {
+		t1 = p.Now()
+		p.Sleep(500)
+		t2 = p.Now()
+	})
+	k.Run()
+	if t1 != 0 || t2 != 500 {
+		t.Fatalf("sleep times = %v,%v, want 0,500", t1, t2)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(42)
+		var log []string
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "a")
+				p.Sleep(10)
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "b")
+				p.Sleep(10)
+			}
+		})
+		k.Run()
+		return log
+	}
+	l1, l2 := run(), run()
+	if len(l1) != 6 || len(l2) != 6 {
+		t.Fatalf("lengths: %d %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("non-deterministic interleaving: %v vs %v", l1, l2)
+		}
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	k := NewKernel(1)
+	var start Time
+	k.SpawnAt(250, "late", func(p *Proc) { start = p.Now() })
+	k.Run()
+	if start != 250 {
+		t.Fatalf("start = %v, want 250", start)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	k := NewKernel(1)
+	f := k.NewFuture()
+	k.Spawn("stuck", func(p *Proc) { p.Wait(f) }) // never completed
+	k.Run()
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{5, "5ns"},
+		{3 * Microsecond, "3.000us"},
+		{2 * Millisecond, "2.000ms"},
+		{Second + Second/2, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	if s := (2 * Second).Seconds(); s != 2.0 {
+		t.Fatalf("Seconds = %v, want 2", s)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewKernel(7).Rand().Int63()
+	b := NewKernel(7).Rand().Int63()
+	c := NewKernel(8).Rand().Int63()
+	if a != b {
+		t.Fatal("same seed produced different random streams")
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical first values (suspicious)")
+	}
+}

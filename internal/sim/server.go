@@ -1,0 +1,188 @@
+package sim
+
+// Server models a shared resource that serves requests at a fixed
+// bandwidth with a fixed per-operation overhead: a NIC injection port, a
+// storage target, a memory controller.
+//
+// Scheduling is round-robin across flows: each request belongs to a flow
+// (a logical stream — one rendezvous transfer, one file-write call, one
+// RMA epoch), and the server serves one queued request per flow in
+// rotation. A flow that submits a burst of requests therefore cannot
+// starve a paced (request-at-a-time) flow — the fairness a NIC provides
+// across queue pairs. Requests without an explicit flow are each their
+// own flow, which makes single-request traffic behave exactly FIFO.
+//
+// An optional noise function perturbs each service time, used to model
+// shared (non-dedicated) resources such as the Ibex cluster's storage in
+// the reproduced paper. Noise is drawn from the kernel's seeded RNG, so
+// runs remain reproducible.
+type Server struct {
+	k *Kernel
+	// Name identifies the server in traces.
+	Name string
+	// Bandwidth in bytes per virtual second. Zero means infinite
+	// bandwidth (only PerOp applies).
+	Bandwidth float64
+	// PerOp is the fixed overhead charged per request.
+	PerOp Time
+	// Noise, if non-nil, returns a multiplicative service-time factor
+	// (>= 0) for one request; 1.0 means no perturbation.
+	Noise func() float64
+
+	queues  map[interface{}][]*serverReq
+	ring    []interface{} // flows with pending requests, service order
+	serving bool
+
+	serviceEnd Time // completion time of the in-service request
+
+	backlog  Time // total queued (unserved) service time, for estimates
+	busyTime Time // total busy nanoseconds, for utilisation accounting
+	ops      int64
+	bytes    int64
+	uniqSeq  int64
+}
+
+type serverReq struct {
+	d       Time
+	fut     *Future
+	onStart func()
+}
+
+// NewServer creates a round-robin bandwidth server. bandwidth is in
+// bytes per virtual second; perOp is fixed per-request overhead.
+func (k *Kernel) NewServer(name string, bandwidth float64, perOp Time) *Server {
+	return &Server{
+		k:         k,
+		Name:      name,
+		Bandwidth: bandwidth,
+		PerOp:     perOp,
+		queues:    make(map[interface{}][]*serverReq),
+	}
+}
+
+// serviceTime computes the unperturbed service time for size bytes.
+func (s *Server) serviceTime(size int64) Time {
+	d := s.PerOp
+	if s.Bandwidth > 0 && size > 0 {
+		d += Time(float64(size) / s.Bandwidth * float64(Second))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+type uniqueFlow struct{ seq int64 }
+
+// Submit enqueues a request of size bytes as its own flow and returns a
+// future that completes when the request has been fully served.
+func (s *Server) Submit(size int64) *Future {
+	return s.SubmitFlow(nil, size)
+}
+
+// SubmitFlow enqueues a request of size bytes on the given flow. A nil
+// flow key makes the request its own flow. Requests within one flow are
+// served in submission order; distinct flows share the server
+// round-robin.
+func (s *Server) SubmitFlow(flow interface{}, size int64) *Future {
+	return s.SubmitFlowOnStart(flow, size, nil)
+}
+
+// SubmitFlowOnStart is SubmitFlow with a callback invoked (in kernel
+// context) the moment the request begins service — used to anchor
+// downstream resources (e.g. a receive port reservation one wire
+// latency after transmission starts).
+func (s *Server) SubmitFlowOnStart(flow interface{}, size int64, onStart func()) *Future {
+	if flow == nil {
+		s.uniqSeq++
+		flow = uniqueFlow{s.uniqSeq}
+	}
+	d := s.serviceTime(size)
+	if s.Noise != nil {
+		f := s.Noise()
+		if f < 0 {
+			f = 0
+		}
+		d = Time(float64(d) * f)
+	}
+	req := &serverReq{d: d, fut: s.k.NewFuture(), onStart: onStart}
+	q, existed := s.queues[flow]
+	s.queues[flow] = append(q, req)
+	if !existed || len(q) == 0 {
+		s.ring = append(s.ring, flow)
+	}
+	s.backlog += d
+	s.ops++
+	s.bytes += size
+	if !s.serving {
+		s.serving = true
+		s.serveNext()
+	}
+	return req.fut
+}
+
+// serveNext picks the next flow in rotation and serves one of its
+// requests. Runs in kernel context.
+func (s *Server) serveNext() {
+	for len(s.ring) > 0 {
+		flow := s.ring[0]
+		s.ring = s.ring[1:]
+		q := s.queues[flow]
+		if len(q) == 0 {
+			delete(s.queues, flow)
+			continue
+		}
+		req := q[0]
+		q = q[1:]
+		if len(q) == 0 {
+			delete(s.queues, flow)
+		} else {
+			s.queues[flow] = q
+			s.ring = append(s.ring, flow) // rotate to the back
+		}
+		s.busyTime += req.d
+		s.backlog -= req.d
+		s.serviceEnd = s.k.now + req.d
+		if req.onStart != nil {
+			req.onStart()
+		}
+		s.k.After(req.d, func() {
+			req.fut.Complete()
+			s.serveNext()
+		})
+		return
+	}
+	s.serving = false
+}
+
+// SubmitAfter behaves like SubmitFlow but the request only reaches the
+// server queue after delay (e.g. network latency before a storage target
+// sees a write).
+func (s *Server) SubmitAfter(delay Time, size int64) *Future {
+	return s.SubmitFlowAfter(nil, delay, size)
+}
+
+// SubmitFlowAfter is SubmitFlow with an arrival delay.
+func (s *Server) SubmitFlowAfter(flow interface{}, delay Time, size int64) *Future {
+	fut := s.k.NewFuture()
+	s.k.After(delay, func() {
+		inner := s.SubmitFlow(flow, size)
+		inner.OnDone(fut.Complete)
+	})
+	return fut
+}
+
+// BusyUntil estimates when the server's current backlog drains: the end
+// of the in-service request plus all queued service time.
+func (s *Server) BusyUntil() Time {
+	base := s.k.now
+	if s.serving && s.serviceEnd > base {
+		base = s.serviceEnd
+	}
+	return base + s.backlog
+}
+
+// Stats returns cumulative operation count, byte count and busy time.
+func (s *Server) Stats() (ops int64, bytes int64, busy Time) {
+	return s.ops, s.bytes, s.busyTime
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServerSingleRequest(t *testing.T) {
+	k := NewKernel(1)
+	// 1000 bytes/s, 10ns per op.
+	s := k.NewServer("disk", 1000, 10)
+	f := s.Submit(500) // 0.5s + 10ns
+	k.Run()
+	want := Time(float64(500)/1000*float64(Second)) + 10
+	if f.DoneAt() != want {
+		t.Fatalf("done at %v, want %v", f.DoneAt(), want)
+	}
+}
+
+func TestServerFIFOQueueing(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewServer("nic", float64(Second), 0) // 1 byte per ns
+	f1 := s.Submit(100)
+	f2 := s.Submit(50)
+	k.Run()
+	if f1.DoneAt() != 100 {
+		t.Fatalf("first done at %v, want 100", f1.DoneAt())
+	}
+	if f2.DoneAt() != 150 {
+		t.Fatalf("second done at %v, want 150 (queued behind first)", f2.DoneAt())
+	}
+}
+
+func TestServerIdleGapResets(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewServer("nic", float64(Second), 0)
+	var done Time
+	k.At(0, func() { s.Submit(10) })
+	k.At(1000, func() {
+		f := s.Submit(10)
+		f.OnDone(func() { done = k.Now() })
+	})
+	k.Run()
+	if done != 1010 {
+		t.Fatalf("post-idle request done at %v, want 1010", done)
+	}
+}
+
+func TestServerZeroBandwidthIsInfinite(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewServer("inf", 0, 7)
+	f := s.Submit(1 << 40)
+	k.Run()
+	if f.DoneAt() != 7 {
+		t.Fatalf("done at %v, want 7 (PerOp only)", f.DoneAt())
+	}
+}
+
+func TestServerNoise(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewServer("noisy", float64(Second), 0)
+	s.Noise = func() float64 { return 2.0 }
+	f := s.Submit(100)
+	k.Run()
+	if f.DoneAt() != 200 {
+		t.Fatalf("noisy request done at %v, want 200", f.DoneAt())
+	}
+}
+
+func TestServerNegativeNoiseClamped(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewServer("noisy", float64(Second), 0)
+	s.Noise = func() float64 { return -3 }
+	f := s.Submit(100)
+	k.Run()
+	if f.DoneAt() != 0 {
+		t.Fatalf("done at %v, want 0 (noise clamped to 0)", f.DoneAt())
+	}
+}
+
+func TestServerSubmitAfter(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewServer("t", float64(Second), 0)
+	f := s.SubmitAfter(40, 10)
+	k.Run()
+	if f.DoneAt() != 50 {
+		t.Fatalf("done at %v, want 50", f.DoneAt())
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	k := NewKernel(1)
+	s := k.NewServer("t", float64(Second), 5)
+	s.Submit(10)
+	s.Submit(20)
+	k.Run()
+	ops, bytes, busy := s.Stats()
+	if ops != 2 || bytes != 30 {
+		t.Fatalf("ops=%d bytes=%d, want 2/30", ops, bytes)
+	}
+	if busy != 40 { // (10+5)+(20+5)
+		t.Fatalf("busy=%v, want 40", busy)
+	}
+}
+
+// Property: for any request sequence, completion times are non-decreasing
+// in submission order (FIFO) and total busy time equals the sum of
+// individual service times.
+func TestServerFIFOProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		k := NewKernel(3)
+		s := k.NewServer("p", float64(Second), 3)
+		futs := make([]*Future, len(sizes))
+		for i, sz := range sizes {
+			futs[i] = s.Submit(int64(sz))
+		}
+		k.Run()
+		var prev Time = -1
+		var sum Time
+		for i, f := range futs {
+			if !f.Done() || f.DoneAt() < prev {
+				return false
+			}
+			prev = f.DoneAt()
+			sum += s.serviceTime(int64(sizes[i]))
+		}
+		_, _, busy := s.Stats()
+		return busy == sum
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,350 @@
+// Package simfs models a striped parallel file system in the style of
+// BeeGFS, the file system used on both clusters in the reproduced paper.
+// A file is striped round-robin over storage targets; each target is a
+// FIFO bandwidth server. Writes decompose into stripe-sized chunks that
+// travel over the client's NIC (unless the target is node-local, as on
+// the crill cluster where storage lives in the compute nodes) and then
+// queue at their target.
+//
+// Two write paths exist, matching the paper's distinction:
+//
+//   - Write: synchronous (POSIX pwrite); the calling process blocks for
+//     the duration and — critically — is outside the MPI library, so no
+//     communication progress happens on its behalf.
+//   - AIOWrite: asynchronous (aio_write / MPI_File_iwrite); chunk
+//     traffic is driven entirely by simulation events ("an OS thread"),
+//     so it progresses regardless of what the calling process does.
+package simfs
+
+import (
+	"fmt"
+	"sort"
+
+	"collio/internal/sim"
+	"collio/internal/simnet"
+)
+
+// Config describes the file system of one simulated cluster.
+type Config struct {
+	// StripeSize is the striping unit (1 MiB in the paper's setups).
+	StripeSize int64
+	// NumTargets is the number of storage targets (16 in the paper).
+	NumTargets int
+	// TargetBandwidth is the sustained write bandwidth of one target in
+	// bytes per second.
+	TargetBandwidth float64
+	// TargetPerOp is the fixed per-request overhead at a target (seek /
+	// request processing).
+	TargetPerOp sim.Time
+	// TargetNoise, if non-nil, perturbs each target service time
+	// (shared storage systems such as Ibex's).
+	TargetNoise func(rng func() float64) float64
+	// NetLatency is the client-to-storage one-way latency.
+	NetLatency sim.Time
+	// TargetNode, if non-nil, maps a target index to the compute node
+	// hosting it (crill: two HDDs in each of the 16 compute nodes).
+	// Writes from that node to that target skip the NIC; all other
+	// writes consume client NIC injection bandwidth. When nil, storage
+	// is external and every write crosses the client NIC.
+	TargetNode func(target int) int
+	// ClientPerOp is the client-side syscall/request overhead charged
+	// once per write call.
+	ClientPerOp sim.Time
+}
+
+func (c *Config) validate() error {
+	if c.StripeSize <= 0 {
+		return fmt.Errorf("simfs: StripeSize must be positive, got %d", c.StripeSize)
+	}
+	if c.NumTargets <= 0 {
+		return fmt.Errorf("simfs: NumTargets must be positive, got %d", c.NumTargets)
+	}
+	return nil
+}
+
+// FS is an instantiated file system.
+type FS struct {
+	k       *sim.Kernel
+	net     *simnet.Network
+	cfg     Config
+	targets []*sim.Server
+	files   map[string]*File
+}
+
+// New creates a file system whose chunk traffic shares the given
+// network's client NICs.
+func New(k *sim.Kernel, net *simnet.Network, cfg Config) (*FS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fs := &FS{k: k, net: net, cfg: cfg, files: make(map[string]*File)}
+	noise := func() float64 { return 1 }
+	if cfg.TargetNoise != nil {
+		rng := k.Rand()
+		noise = func() float64 { return cfg.TargetNoise(rng.Float64) }
+	}
+	for i := 0; i < cfg.NumTargets; i++ {
+		s := k.NewServer(fmt.Sprintf("ost%d", i), cfg.TargetBandwidth, cfg.TargetPerOp)
+		if cfg.TargetNoise != nil {
+			s.Noise = noise
+		}
+		fs.targets = append(fs.targets, s)
+	}
+	return fs, nil
+}
+
+// Config returns the file system configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Kernel returns the owning kernel.
+func (fs *FS) Kernel() *sim.Kernel { return fs.k }
+
+// Target exposes storage target i (diagnostics, utilisation reports).
+func (fs *FS) Target(i int) *sim.Server { return fs.targets[i] }
+
+// Open returns the named file, creating it empty if needed.
+func (fs *FS) Open(name string) *File {
+	if f, ok := fs.files[name]; ok {
+		return f
+	}
+	f := &File{fs: fs, name: name}
+	fs.files[name] = f
+	return f
+}
+
+// File is one striped file.
+type File struct {
+	fs   *FS
+	name string
+
+	data    []byte   // sparse backing store, grown on demand (data mode)
+	written []extent // merged written ranges (both modes)
+	bytes   int64    // total bytes written (including overwrites)
+	writes  int64    // number of write calls
+	reads   int64    // number of read calls
+}
+
+type extent struct{ off, end int64 }
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// targetFor returns the storage target holding the stripe that contains
+// offset off.
+func (f *File) targetFor(off int64) int {
+	return int((off / f.fs.cfg.StripeSize) % int64(f.fs.cfg.NumTargets))
+}
+
+// chunkify splits [off, off+size) at stripe boundaries.
+func (f *File) chunkify(off, size int64) []extent {
+	var out []extent
+	ss := f.fs.cfg.StripeSize
+	for size > 0 {
+		n := ss - off%ss
+		if n > size {
+			n = size
+		}
+		out = append(out, extent{off, off + n})
+		off += n
+		size -= n
+	}
+	return out
+}
+
+// startWrite performs the common write path: record data, split into
+// stripe chunks, route each chunk over the client NIC (unless the target
+// is local to clientNode) and queue it at its target. The returned
+// future completes when every chunk has been persisted.
+func (f *File) startWrite(clientNode int, off, size int64, data []byte) *sim.Future {
+	if size < 0 || off < 0 {
+		panic(fmt.Sprintf("simfs: bad write off=%d size=%d", off, size))
+	}
+	if data != nil && int64(len(data)) != size {
+		panic("simfs: data length does not match size")
+	}
+	f.record(off, size, data)
+	if size == 0 {
+		out := f.fs.k.NewFuture()
+		f.fs.k.After(f.fs.cfg.ClientPerOp, out.Complete)
+		return out
+	}
+	var futs []*sim.Future
+	// All chunks of one write call share a flow: they stream in order
+	// through the client NIC without starving concurrent transfers.
+	flow := new(byte)
+	for _, ch := range f.chunkify(off, size) {
+		tgt := f.targetFor(ch.off)
+		n := ch.end - ch.off
+		local := f.fs.cfg.TargetNode != nil && f.fs.cfg.TargetNode(tgt) == clientNode
+		srv := f.fs.targets[tgt]
+		if local {
+			futs = append(futs, srv.SubmitAfter(f.fs.cfg.ClientPerOp, n))
+			continue
+		}
+		// Remote: inject on the client NIC, then cross the wire, then
+		// queue at the target.
+		done := f.fs.k.NewFuture()
+		tx := f.fs.net.TxServer(clientNode).SubmitFlow(flow, n)
+		lat := f.fs.cfg.NetLatency
+		tx.OnDone(func() {
+			t := srv.SubmitAfter(lat, n)
+			t.OnDone(done.Complete)
+		})
+		futs = append(futs, done)
+	}
+	return f.fs.k.Join(futs...)
+}
+
+// Write performs a synchronous write from process p running on
+// clientNode. The process blocks until the data is persisted. The caller
+// is responsible for MPI progress scope (the mpiio layer drops the rank
+// out of the MPI library around this call).
+func (f *File) Write(p *sim.Proc, clientNode int, off, size int64, data []byte) {
+	p.Sleep(f.fs.cfg.ClientPerOp)
+	fut := f.startWrite(clientNode, off, size, data)
+	p.Wait(fut)
+}
+
+// AIOWrite starts an asynchronous write and returns its completion
+// future. The transfer progresses through simulation events alone, so
+// the issuing process may do anything — including blocking elsewhere —
+// while the write completes (aio_write semantics).
+func (f *File) AIOWrite(clientNode int, off, size int64, data []byte) *sim.Future {
+	return f.startWrite(clientNode, off, size, data)
+}
+
+// record stores data and tracks written ranges.
+func (f *File) record(off, size int64, data []byte) {
+	f.writes++
+	f.bytes += size
+	if size == 0 {
+		return
+	}
+	if data != nil {
+		if grow := off + size - int64(len(f.data)); grow > 0 {
+			f.data = append(f.data, make([]byte, grow)...)
+		}
+		copy(f.data[off:off+size], data)
+	}
+	f.written = append(f.written, extent{off, off + size})
+	f.coalesce()
+}
+
+func (f *File) coalesce() {
+	if len(f.written) < 2 {
+		return
+	}
+	sort.Slice(f.written, func(i, j int) bool { return f.written[i].off < f.written[j].off })
+	out := f.written[:1]
+	for _, e := range f.written[1:] {
+		last := &out[len(out)-1]
+		if e.off <= last.end {
+			if e.end > last.end {
+				last.end = e.end
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	f.written = out
+}
+
+// Size returns the file size (highest written offset).
+func (f *File) Size() int64 {
+	if len(f.written) == 0 {
+		return 0
+	}
+	return f.written[len(f.written)-1].end
+}
+
+// Contiguous reports whether the written ranges form a single extent
+// starting at offset 0 — the post-condition of a dense collective write.
+func (f *File) Contiguous() bool {
+	return len(f.written) == 1 && f.written[0].off == 0
+}
+
+// Coverage returns the written ranges (sorted, merged) as (off,end)
+// pairs.
+func (f *File) Coverage() [][2]int64 {
+	out := make([][2]int64, len(f.written))
+	for i, e := range f.written {
+		out[i] = [2]int64{e.off, e.end}
+	}
+	return out
+}
+
+// ReadBack returns a copy of file bytes [off, off+size) for
+// verification (host-level, no simulation cost). Unwritten bytes read as
+// zero.
+func (f *File) ReadBack(off, size int64) []byte {
+	out := make([]byte, size)
+	if off < int64(len(f.data)) {
+		copy(out, f.data[off:])
+	}
+	return out
+}
+
+// Stats returns the number of write calls and total bytes written.
+func (f *File) Stats() (writes, bytes int64) { return f.writes, f.bytes }
+
+// startRead mirrors startWrite for the read direction: stripe chunks
+// queue at their targets and then cross the network to the client
+// (charged on the client NIC via its rx-equivalent path — modelled on
+// the tx server, as BeeGFS clients are bandwidth-symmetric). The
+// returned future completes when all chunks have arrived; in data mode
+// buf receives the bytes.
+func (f *File) startRead(clientNode int, off, size int64, buf []byte) *sim.Future {
+	if size < 0 || off < 0 {
+		panic(fmt.Sprintf("simfs: bad read off=%d size=%d", off, size))
+	}
+	if buf != nil && int64(len(buf)) != size {
+		panic("simfs: read buffer length does not match size")
+	}
+	f.reads++
+	if buf != nil && off < int64(len(f.data)) {
+		copy(buf, f.data[off:])
+	}
+	if size == 0 {
+		out := f.fs.k.NewFuture()
+		f.fs.k.After(f.fs.cfg.ClientPerOp, out.Complete)
+		return out
+	}
+	var futs []*sim.Future
+	flow := new(byte)
+	for _, ch := range f.chunkify(off, size) {
+		tgt := f.targetFor(ch.off)
+		n := ch.end - ch.off
+		local := f.fs.cfg.TargetNode != nil && f.fs.cfg.TargetNode(tgt) == clientNode
+		srv := f.fs.targets[tgt]
+		if local {
+			futs = append(futs, srv.SubmitAfter(f.fs.cfg.ClientPerOp, n))
+			continue
+		}
+		// Remote: the target serves the chunk, then it crosses the
+		// wire into the client NIC.
+		done := f.fs.k.NewFuture()
+		t := srv.Submit(n)
+		lat := f.fs.cfg.NetLatency
+		cl := f.fs.net.TxServer(clientNode)
+		t.OnDone(func() {
+			in := cl.SubmitFlowAfter(flow, lat, n)
+			in.OnDone(done.Complete)
+		})
+		futs = append(futs, done)
+	}
+	return f.fs.k.Join(futs...)
+}
+
+// Read performs a synchronous read into buf (POSIX pread semantics: the
+// process blocks, outside the MPI library).
+func (f *File) Read(p *sim.Proc, clientNode int, off, size int64, buf []byte) {
+	p.Sleep(f.fs.cfg.ClientPerOp)
+	fut := f.startRead(clientNode, off, size, buf)
+	p.Wait(fut)
+}
+
+// AIORead starts an asynchronous read (aio_read semantics) and returns
+// its completion future.
+func (f *File) AIORead(clientNode int, off, size int64, buf []byte) *sim.Future {
+	return f.startRead(clientNode, off, size, buf)
+}

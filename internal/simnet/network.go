@@ -1,0 +1,169 @@
+// Package simnet models the cluster interconnect used by the simulated
+// MPI runtime: a set of nodes, each with a network interface (NIC) that
+// serialises injection (tx) and ejection (rx) at a configured bandwidth,
+// plus a per-node memory engine used for intra-node transfers and
+// memory-copy costs.
+//
+// A message between two nodes costs one wire latency plus transmission
+// time at the bottleneck NIC; concurrent messages sharing a NIC queue
+// behind each other, which is how contention at aggregator nodes emerges
+// in the collective-write experiments.
+package simnet
+
+import (
+	"fmt"
+
+	"collio/internal/sim"
+)
+
+// Config describes the interconnect of one simulated cluster.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// InterBandwidth is per-NIC point-to-point bandwidth in bytes per
+	// second (QDR InfiniBand-class: a few GB/s).
+	InterBandwidth float64
+	// InterLatency is the one-way wire latency between two nodes.
+	InterLatency sim.Time
+	// IntraBandwidth is the shared-memory copy bandwidth within a node.
+	IntraBandwidth float64
+	// IntraLatency is the latency of an intra-node handoff.
+	IntraLatency sim.Time
+	// MemBandwidth is the per-node memory-copy bandwidth used for
+	// pack/unpack and buffer-assembly costs.
+	MemBandwidth float64
+	// LinkNoise, if non-nil, is called once per inter-node transfer leg
+	// and returns a multiplicative service-time factor (1.0 = calm).
+	// Used to model shared, non-dedicated fabrics.
+	LinkNoise func(rng func() float64) float64
+}
+
+// Node is one compute node's network endpoints.
+type Node struct {
+	ID  int
+	tx  *sim.Server
+	rx  *sim.Server
+	ipc *sim.Server
+	mem *sim.Server
+}
+
+// Network is the instantiated interconnect.
+type Network struct {
+	k     *sim.Kernel
+	cfg   Config
+	nodes []*Node
+
+	// Cumulative transferred bytes, for reporting.
+	interBytes int64
+	intraBytes int64
+	messages   int64
+}
+
+// New builds a network on kernel k from cfg.
+func New(k *sim.Kernel, cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic("simnet: Config.Nodes must be positive")
+	}
+	n := &Network{k: k, cfg: cfg}
+	noise := func() float64 { return 1 }
+	if cfg.LinkNoise != nil {
+		rng := k.Rand()
+		noise = func() float64 { return cfg.LinkNoise(rng.Float64) }
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		nd := &Node{
+			ID:  i,
+			tx:  k.NewServer(fmt.Sprintf("node%d.tx", i), cfg.InterBandwidth, 0),
+			rx:  k.NewServer(fmt.Sprintf("node%d.rx", i), cfg.InterBandwidth, 0),
+			ipc: k.NewServer(fmt.Sprintf("node%d.ipc", i), cfg.IntraBandwidth, 0),
+			mem: k.NewServer(fmt.Sprintf("node%d.mem", i), cfg.MemBandwidth, 0),
+		}
+		if cfg.LinkNoise != nil {
+			nd.tx.Noise = noise
+			nd.rx.Noise = noise
+		}
+		n.nodes = append(n.nodes, nd)
+	}
+	return n
+}
+
+// Kernel returns the owning kernel.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Node returns node i.
+func (n *Network) Node(i int) *Node { return n.nodes[i] }
+
+// Transfer result futures: Injected completes when the sender-side NIC
+// has finished injecting the message (local completion, the MPI eager
+// send semantics); Delivered completes when the last byte has arrived at
+// the destination.
+type Transfer struct {
+	Injected  *sim.Future
+	Delivered *sim.Future
+	Size      int64
+	From, To  int
+}
+
+// Send moves size bytes from node `from` to node `to` and returns the
+// transfer handle. Intra-node sends go through the node's memory engine;
+// inter-node sends occupy the source tx port and the destination rx port
+// concurrently (cut-through pipelining), so an uncontended transfer
+// completes after latency + size/bandwidth.
+func (n *Network) Send(from, to int, size int64) *Transfer {
+	return n.SendFlow(nil, from, to, size)
+}
+
+// SendFlow is Send with an explicit flow key: transfers sharing a flow
+// are served in order, while distinct flows share each port fairly (see
+// sim.Server). Rendezvous pipelines, RMA epochs and file-write bursts
+// each form one flow.
+func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer {
+	if size < 0 {
+		panic("simnet: negative transfer size")
+	}
+	n.messages++
+	tr := &Transfer{Size: size, From: from, To: to}
+	if from == to {
+		n.intraBytes += size
+		f := n.nodes[from].ipc.SubmitFlowAfter(flow, n.cfg.IntraLatency, size)
+		tr.Injected = f
+		tr.Delivered = f
+		return tr
+	}
+	n.interBytes += size
+	src, dst := n.nodes[from], n.nodes[to]
+	// The first byte reaches the destination one wire latency after the
+	// source NIC starts transmitting; tx and rx then stream concurrently
+	// (cut-through), so delivery completes when both ports have finished.
+	rxDone := n.k.NewFuture()
+	lat := n.cfg.InterLatency
+	tr.Injected = src.tx.SubmitFlowOnStart(flow, size, func() {
+		inner := dst.rx.SubmitFlowAfter(flow, lat, size)
+		inner.OnDone(rxDone.Complete)
+	})
+	tr.Delivered = n.k.Join(tr.Injected, rxDone)
+	return tr
+}
+
+// Memcpy charges a memory-copy of size bytes on node i and returns its
+// completion future. Used for pack/unpack and collective-buffer
+// assembly costs.
+func (n *Network) Memcpy(node int, size int64) *sim.Future {
+	return n.nodes[node].mem.Submit(size)
+}
+
+// TxServer exposes node i's injection port so that co-located services
+// (e.g. node-local storage on the crill model) can share it.
+func (n *Network) TxServer(node int) *sim.Server { return n.nodes[node].tx }
+
+// Stats returns cumulative inter-node bytes, intra-node bytes and
+// message count.
+func (n *Network) Stats() (inter, intra, messages int64) {
+	return n.interBytes, n.intraBytes, n.messages
+}

@@ -1,0 +1,152 @@
+package simnet
+
+import (
+	"testing"
+
+	"collio/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		Nodes:          4,
+		InterBandwidth: float64(sim.Second), // 1 byte/ns
+		InterLatency:   100,
+		IntraBandwidth: 4 * float64(sim.Second),
+		IntraLatency:   10,
+		MemBandwidth:   8 * float64(sim.Second),
+	}
+}
+
+func TestInterNodeTransferTime(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, testConfig())
+	tr := n.Send(0, 1, 1000)
+	k.Run()
+	// Uncontended: latency(100) + size/bw(1000) = 1100.
+	if tr.Delivered.DoneAt() != 1100 {
+		t.Fatalf("delivered at %v, want 1100", tr.Delivered.DoneAt())
+	}
+	// Injection completes when tx is done: 1000.
+	if tr.Injected.DoneAt() != 1000 {
+		t.Fatalf("injected at %v, want 1000", tr.Injected.DoneAt())
+	}
+}
+
+func TestIntraNodeTransfer(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, testConfig())
+	tr := n.Send(2, 2, 4000)
+	k.Run()
+	// 10 latency + 4000/4 = 1010.
+	if tr.Delivered.DoneAt() != 1010 {
+		t.Fatalf("delivered at %v, want 1010", tr.Delivered.DoneAt())
+	}
+	if tr.Injected != tr.Delivered {
+		t.Fatal("intra-node transfer should have one completion")
+	}
+}
+
+func TestTxContention(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, testConfig())
+	// Two messages from node 0 serialise on its tx port.
+	t1 := n.Send(0, 1, 1000)
+	t2 := n.Send(0, 2, 1000)
+	k.Run()
+	if t1.Delivered.DoneAt() != 1100 {
+		t.Fatalf("first delivered at %v, want 1100", t1.Delivered.DoneAt())
+	}
+	// Second injects 1000..2000, rx busy from 100+... delivered = max(tx,rx legs).
+	if t2.Delivered.DoneAt() != 2100 {
+		t.Fatalf("second delivered at %v, want 2100", t2.Delivered.DoneAt())
+	}
+}
+
+func TestRxContentionAtAggregator(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, testConfig())
+	// Nodes 1,2,3 all send to node 0: rx port of 0 serialises.
+	trs := []*Transfer{
+		n.Send(1, 0, 1000),
+		n.Send(2, 0, 1000),
+		n.Send(3, 0, 1000),
+	}
+	k.Run()
+	// rx occupied [100,1100],[1100,2100],[2100,3100].
+	want := []sim.Time{1100, 2100, 3100}
+	for i, tr := range trs {
+		if tr.Delivered.DoneAt() != want[i] {
+			t.Fatalf("transfer %d delivered at %v, want %v", i, tr.Delivered.DoneAt(), want[i])
+		}
+	}
+}
+
+func TestMemcpyCost(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, testConfig())
+	f := n.Memcpy(1, 8000)
+	k.Run()
+	if f.DoneAt() != 1000 { // 8000 / 8 per ns
+		t.Fatalf("memcpy done at %v, want 1000", f.DoneAt())
+	}
+}
+
+func TestLinkNoiseApplied(t *testing.T) {
+	cfg := testConfig()
+	cfg.LinkNoise = func(rng func() float64) float64 { return 3.0 }
+	k := sim.NewKernel(1)
+	n := New(k, cfg)
+	tr := n.Send(0, 1, 1000)
+	k.Run()
+	// Both legs tripled: tx takes 3000, rx leg finishes at 100+3000.
+	if tr.Delivered.DoneAt() != 3100 {
+		t.Fatalf("noisy transfer delivered at %v, want 3100", tr.Delivered.DoneAt())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, testConfig())
+	n.Send(0, 1, 500)
+	n.Send(2, 2, 300)
+	k.Run()
+	inter, intra, msgs := n.Stats()
+	if inter != 500 || intra != 300 || msgs != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 500/300/2", inter, intra, msgs)
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative size")
+		}
+	}()
+	k := sim.NewKernel(1)
+	n := New(k, testConfig())
+	n.Send(0, 1, -1)
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero nodes")
+		}
+	}()
+	New(sim.NewKernel(1), Config{})
+}
+
+func TestDeterministicNoise(t *testing.T) {
+	run := func() sim.Time {
+		cfg := testConfig()
+		cfg.LinkNoise = func(rng func() float64) float64 { return 1 + rng() }
+		k := sim.NewKernel(99)
+		n := New(k, cfg)
+		tr := n.Send(0, 1, 10000)
+		k.Run()
+		return tr.Delivered.DoneAt()
+	}
+	if run() != run() {
+		t.Fatal("noisy transfers not reproducible for fixed seed")
+	}
+}

@@ -1,0 +1,257 @@
+// Package stats implements the measurement methodology of the
+// reproduced paper's §IV: multi-seed measurement series, min-of-series
+// point comparisons, win counting across test series (Table I, Fig. 4)
+// and average positive relative improvement (Figs. 2–3).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"collio/internal/sim"
+)
+
+// Series is one measurement series: repeated runs of one configuration
+// with different seeds.
+type Series struct {
+	Samples []sim.Time
+}
+
+// Add appends a sample.
+func (s *Series) Add(t sim.Time) { s.Samples = append(s.Samples, t) }
+
+// Min returns the fastest run — the paper's statistic for point
+// comparisons ("we used the minimum execution time across all
+// measurements within a series").
+func (s Series) Min() sim.Time {
+	if len(s.Samples) == 0 {
+		panic("stats: Min of empty series")
+	}
+	m := s.Samples[0]
+	for _, v := range s.Samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average sample.
+func (s Series) Mean() sim.Time {
+	if len(s.Samples) == 0 {
+		panic("stats: Mean of empty series")
+	}
+	var sum sim.Time
+	for _, v := range s.Samples {
+		sum += v
+	}
+	return sum / sim.Time(len(s.Samples))
+}
+
+// StdDev returns the sample standard deviation in seconds.
+func (s Series) StdDev() float64 {
+	n := len(s.Samples)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean().Seconds()
+	var acc float64
+	for _, v := range s.Samples {
+		d := v.Seconds() - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n-1))
+}
+
+// Improvement returns the relative improvement of v over base:
+// (base - v) / base. Positive means v is faster.
+func Improvement(base, v sim.Time) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(base-v) / float64(base)
+}
+
+// WinCounter tallies, per group (benchmark) and contender (algorithm or
+// primitive), how many test series the contender won — the shape of the
+// paper's Table I and Fig. 4.
+type WinCounter struct {
+	groups     []string
+	contenders []string
+	wins       map[string]map[string]int
+}
+
+// NewWinCounter creates a counter with fixed group and contender order
+// (for stable table output).
+func NewWinCounter(groups, contenders []string) *WinCounter {
+	w := &WinCounter{
+		groups:     append([]string(nil), groups...),
+		contenders: append([]string(nil), contenders...),
+		wins:       make(map[string]map[string]int),
+	}
+	for _, g := range groups {
+		w.wins[g] = make(map[string]int)
+	}
+	return w
+}
+
+// Record tallies one series: times[contender] is the series statistic
+// (usually Min); the smallest wins. Ties go to the earlier contender in
+// declaration order (deterministic).
+func (w *WinCounter) Record(group string, times map[string]sim.Time) {
+	g, ok := w.wins[group]
+	if !ok {
+		panic(fmt.Sprintf("stats: unknown group %q", group))
+	}
+	best := ""
+	var bestT sim.Time
+	for _, c := range w.contenders {
+		t, ok := times[c]
+		if !ok {
+			continue
+		}
+		if best == "" || t < bestT {
+			best, bestT = c, t
+		}
+	}
+	if best == "" {
+		panic("stats: Record with no contender times")
+	}
+	g[best]++
+}
+
+// Wins returns the tally for (group, contender).
+func (w *WinCounter) Wins(group, contender string) int { return w.wins[group][contender] }
+
+// TotalFor sums a contender's wins across groups.
+func (w *WinCounter) TotalFor(contender string) int {
+	n := 0
+	for _, g := range w.groups {
+		n += w.wins[g][contender]
+	}
+	return n
+}
+
+// GrandTotal returns all recorded series.
+func (w *WinCounter) GrandTotal() int {
+	n := 0
+	for _, g := range w.groups {
+		for _, c := range w.contenders {
+			n += w.wins[g][c]
+		}
+	}
+	return n
+}
+
+// Table renders the counter in the layout of the paper's Table I: one
+// row per group, one column per contender, plus a totals row.
+func (w *WinCounter) Table(title string) string {
+	var b strings.Builder
+	head := append([]string{"Benchmark"}, w.contenders...)
+	rows := [][]string{}
+	for _, g := range w.groups {
+		row := []string{g}
+		for _, c := range w.contenders {
+			row = append(row, fmt.Sprintf("%d", w.wins[g][c]))
+		}
+		rows = append(rows, row)
+	}
+	totals := []string{"Total:"}
+	for _, c := range w.contenders {
+		totals = append(totals, fmt.Sprintf("%d", w.TotalFor(c)))
+	}
+	rows = append(rows, totals)
+	b.WriteString(RenderTable(title, head, rows))
+	return b.String()
+}
+
+// Improvements accumulates positive relative improvements per (group,
+// contender) — the statistic of the paper's Figs. 2 and 3 ("the average
+// improvement per overlap algorithm and benchmark if an improvement
+// was observed", negative data points excluded).
+type Improvements struct {
+	sum   map[string]map[string]float64
+	count map[string]map[string]int
+}
+
+// NewImprovements creates an accumulator.
+func NewImprovements() *Improvements {
+	return &Improvements{
+		sum:   make(map[string]map[string]float64),
+		count: make(map[string]map[string]int),
+	}
+}
+
+// Record adds one data point if the improvement is positive.
+func (im *Improvements) Record(group, contender string, improvement float64) {
+	if improvement <= 0 {
+		return
+	}
+	if im.sum[group] == nil {
+		im.sum[group] = make(map[string]float64)
+		im.count[group] = make(map[string]int)
+	}
+	im.sum[group][contender] += improvement
+	im.count[group][contender]++
+}
+
+// Average returns the mean positive improvement for (group, contender)
+// and whether any positive point was recorded.
+func (im *Improvements) Average(group, contender string) (float64, bool) {
+	c := im.count[group][contender]
+	if c == 0 {
+		return 0, false
+	}
+	return im.sum[group][contender] / float64(c), true
+}
+
+// Groups returns the recorded groups, sorted.
+func (im *Improvements) Groups() []string {
+	var out []string
+	for g := range im.sum {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenderTable renders a fixed-width ASCII table.
+func RenderTable(title string, head []string, rows [][]string) string {
+	width := make([]int, len(head))
+	for i, h := range head {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteString("\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(head)
+	sep := make([]string, len(head))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

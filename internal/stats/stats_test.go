@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"collio/internal/sim"
+)
+
+func TestSeriesMinMean(t *testing.T) {
+	var s Series
+	for _, v := range []sim.Time{30, 10, 20} {
+		s.Add(v)
+	}
+	if s.Min() != 10 {
+		t.Fatalf("Min = %v", s.Min())
+	}
+	if s.Mean() != 20 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+}
+
+func TestSeriesStdDev(t *testing.T) {
+	s := Series{Samples: []sim.Time{sim.Second, 3 * sim.Second}}
+	got := s.StdDev()
+	want := 1.4142135
+	if got < want-1e-3 || got > want+1e-3 {
+		t.Fatalf("StdDev = %v, want ~%v", got, want)
+	}
+	if (Series{Samples: []sim.Time{5}}).StdDev() != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+}
+
+func TestSeriesEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min of empty series did not panic")
+		}
+	}()
+	Series{}.Min()
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100, 80); got != 0.2 {
+		t.Fatalf("Improvement = %v", got)
+	}
+	if got := Improvement(100, 120); got != -0.2 {
+		t.Fatalf("negative improvement = %v", got)
+	}
+	if got := Improvement(0, 50); got != 0 {
+		t.Fatalf("zero base = %v", got)
+	}
+}
+
+// Property: Min <= Mean <= Max for any non-empty series.
+func TestSeriesOrderingProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Series
+		var max sim.Time
+		for _, v := range raw {
+			tv := sim.Time(v)
+			s.Add(tv)
+			if tv > max {
+				max = tv
+			}
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinCounter(t *testing.T) {
+	w := NewWinCounter([]string{"A", "B"}, []string{"x", "y"})
+	w.Record("A", map[string]sim.Time{"x": 10, "y": 20})
+	w.Record("A", map[string]sim.Time{"x": 30, "y": 20})
+	w.Record("B", map[string]sim.Time{"x": 5, "y": 5}) // tie -> first contender
+	if w.Wins("A", "x") != 1 || w.Wins("A", "y") != 1 {
+		t.Fatalf("A wins: x=%d y=%d", w.Wins("A", "x"), w.Wins("A", "y"))
+	}
+	if w.Wins("B", "x") != 1 {
+		t.Fatal("tie should go to the first contender")
+	}
+	if w.TotalFor("x") != 2 || w.GrandTotal() != 3 {
+		t.Fatalf("totals: x=%d grand=%d", w.TotalFor("x"), w.GrandTotal())
+	}
+	tbl := w.Table("title")
+	if !strings.Contains(tbl, "title") || !strings.Contains(tbl, "Total:") {
+		t.Fatalf("table rendering:\n%s", tbl)
+	}
+}
+
+func TestWinCounterUnknownGroupPanics(t *testing.T) {
+	w := NewWinCounter([]string{"A"}, []string{"x"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown group accepted")
+		}
+	}()
+	w.Record("Z", map[string]sim.Time{"x": 1})
+}
+
+func TestImprovementsOnlyPositive(t *testing.T) {
+	im := NewImprovements()
+	im.Record("g", "a", 0.10)
+	im.Record("g", "a", 0.30)
+	im.Record("g", "a", -0.50) // excluded, as in the paper's Figs. 2-3
+	im.Record("g", "a", 0)     // excluded
+	avg, ok := im.Average("g", "a")
+	if !ok || avg < 0.199 || avg > 0.201 {
+		t.Fatalf("Average = %v ok=%v, want 0.2", avg, ok)
+	}
+	if _, ok := im.Average("g", "b"); ok {
+		t.Fatal("no data should report !ok")
+	}
+	if gs := im.Groups(); len(gs) != 1 || gs[0] != "g" {
+		t.Fatalf("Groups = %v", gs)
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := RenderTable("", []string{"a", "bbbb"}, [][]string{{"xxxxx", "y"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+}

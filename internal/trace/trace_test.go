@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"collio/internal/sim"
+)
+
+func TestRecordAndTotals(t *testing.T) {
+	tr := New()
+	tr.Record(0, PhaseShuffle, 0, 0, 100)
+	tr.Record(0, PhaseWrite, 0, 100, 250)
+	tr.Record(1, PhaseShuffle, 0, 10, 60)
+	tr.Record(1, PhaseShuffle, 1, 60, 60) // zero length: dropped
+	if got := tr.PhaseTotal(PhaseShuffle); got != 150 {
+		t.Fatalf("shuffle total = %v, want 150", got)
+	}
+	if got := tr.PhaseTotal(PhaseWrite); got != 150 {
+		t.Fatalf("write total = %v, want 150", got)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3 (zero-length dropped)", len(tr.Spans))
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var tr *Recorder
+	tr.Record(0, PhaseWrite, 0, 0, 10) // must not panic
+	if tr.PhaseTotal(PhaseWrite) != 0 {
+		t.Fatal("nil recorder returned non-zero total")
+	}
+	if tr.Overlap(PhaseWrite, PhaseShuffle) != 0 {
+		t.Fatal("nil recorder returned overlap")
+	}
+	if out := tr.Timeline(20); !strings.Contains(out, "no spans") {
+		t.Fatalf("nil timeline: %q", out)
+	}
+}
+
+func TestBoundsAndRanks(t *testing.T) {
+	tr := New()
+	tr.Record(3, PhaseWrite, 0, 50, 80)
+	tr.Record(1, PhaseShuffle, 0, 20, 40)
+	start, end := tr.Bounds()
+	if start != 20 || end != 80 {
+		t.Fatalf("bounds = %v..%v", start, end)
+	}
+	ranks := tr.Ranks()
+	if len(ranks) != 2 || ranks[0] != 1 || ranks[1] != 3 {
+		t.Fatalf("ranks = %v", ranks)
+	}
+}
+
+func TestOverlapDisjoint(t *testing.T) {
+	tr := New()
+	tr.Record(0, PhaseShuffle, 0, 0, 100)
+	tr.Record(0, PhaseWrite, 0, 100, 200)
+	if got := tr.Overlap(PhaseShuffle, PhaseWrite); got != 0 {
+		t.Fatalf("disjoint phases overlap = %v", got)
+	}
+}
+
+func TestOverlapPartial(t *testing.T) {
+	tr := New()
+	tr.Record(0, PhaseShuffle, 0, 0, 100)
+	tr.Record(1, PhaseWrite, 0, 60, 160)
+	if got := tr.Overlap(PhaseShuffle, PhaseWrite); got != 40 {
+		t.Fatalf("overlap = %v, want 40", got)
+	}
+	// Symmetric.
+	if got := tr.Overlap(PhaseWrite, PhaseShuffle); got != 40 {
+		t.Fatalf("reverse overlap = %v, want 40", got)
+	}
+}
+
+func TestOverlapMergesIntervals(t *testing.T) {
+	tr := New()
+	// Two overlapping shuffle spans must not double count.
+	tr.Record(0, PhaseShuffle, 0, 0, 100)
+	tr.Record(1, PhaseShuffle, 0, 50, 150)
+	tr.Record(2, PhaseWrite, 0, 0, 150)
+	if got := tr.Overlap(PhaseShuffle, PhaseWrite); got != 150 {
+		t.Fatalf("merged overlap = %v, want 150", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr := New()
+	tr.Record(0, PhaseShuffle, 0, 0, 500)
+	tr.Record(0, PhaseWrite, 0, 500, 1000)
+	tr.Record(1, PhaseShuffle, 0, 0, 1000)
+	out := tr.Timeline(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 2 ranks + legend
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "s") || !strings.Contains(lines[1], "W") {
+		t.Fatalf("rank 0 row missing phases: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "W") {
+		t.Fatalf("rank 1 row has a write: %q", lines[2])
+	}
+	// Rank 0: shuffle first half, write second half.
+	row := lines[1][strings.Index(lines[1], "|")+1:]
+	if row[0] != 's' || row[18] != 'W' {
+		t.Fatalf("phase placement wrong: %q", row)
+	}
+}
+
+func TestTimelineMinWidth(t *testing.T) {
+	tr := New()
+	tr.Record(0, PhaseWrite, 0, 0, sim.Second)
+	out := tr.Timeline(1) // clamped to >= 10 columns
+	if !strings.Contains(out, "W") {
+		t.Fatalf("timeline: %q", out)
+	}
+}

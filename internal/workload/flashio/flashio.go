@@ -1,0 +1,126 @@
+// Package flashio generates the FLASH-IO benchmark checkpoint pattern:
+// the I/O kernel of the FLASH block-structured adaptive-mesh
+// hydrodynamics code. The checkpoint file stores, for each of the
+// solution variables, every mesh block's cell data, grouped by variable
+// and then by owning process — so the benchmark issues one collective
+// write per variable, each with one contiguous region per process
+// (possibly load-imbalanced across processes, as AMR refinement is).
+//
+// The paper uses the checkpoint file (the largest of the three outputs)
+// with the standard 8×8×8-cell blocks, double precision, and the
+// default 24 unknowns; the simulator scales the block count and
+// variable count down with the same shape.
+package flashio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"collio/internal/datatype"
+	"collio/internal/fcoll"
+	"collio/internal/workload"
+)
+
+// Config describes one FLASH-IO checkpoint.
+type Config struct {
+	// NXB, NYB, NZB are the cells per block (8×8×8 in FLASH).
+	NXB, NYB, NZB int64
+	// BytesPerCell is the storage per cell per variable (8 = double).
+	BytesPerCell int64
+	// BlocksPerProc is the mean number of mesh blocks per process.
+	BlocksPerProc int
+	// BlockJitter is the ± range of the per-process block count (AMR
+	// load imbalance); 0 means perfectly balanced.
+	BlockJitter int
+	// NumVars is the number of checkpointed unknowns (24 in FLASH);
+	// each is one collective write.
+	NumVars int
+}
+
+// Default returns the FLASH configuration scaled down: 8×8×8 blocks and
+// double precision as in FLASH, 20±4 blocks per process (vs ~80-100),
+// and 6 variables (vs 24).
+func Default() Config {
+	return Config{
+		NXB: 8, NYB: 8, NZB: 8,
+		BytesPerCell:  8,
+		BlocksPerProc: 20,
+		BlockJitter:   4,
+		NumVars:       6,
+	}
+}
+
+// Name implements workload.Generator.
+func (c Config) Name() string { return "flashio" }
+
+// BlockBytes returns the bytes of one block for one variable.
+func (c Config) BlockBytes() int64 {
+	return c.NXB * c.NYB * c.NZB * c.BytesPerCell
+}
+
+// blockCounts returns the deterministic per-process block counts for a
+// seed (the same distribution the Views use).
+func (c Config) blockCounts(nprocs int, seed int64) []int {
+	counts := make([]int, nprocs)
+	rng := rand.New(rand.NewSource(seed ^ 0x11A54))
+	for i := range counts {
+		counts[i] = c.BlocksPerProc
+		if c.BlockJitter > 0 {
+			counts[i] += rng.Intn(2*c.BlockJitter+1) - c.BlockJitter
+		}
+		if counts[i] < 1 {
+			counts[i] = 1
+		}
+	}
+	return counts
+}
+
+// TotalBytes implements workload.Generator (mean-based; the jittered
+// actual volume differs by at most BlockJitter blocks per rank).
+func (c Config) TotalBytes(nprocs int) int64 {
+	return c.BlockBytes() * int64(c.BlocksPerProc) * int64(nprocs) * int64(c.NumVars)
+}
+
+// Views implements workload.Generator: NumVars collective writes. For
+// variable v, process p writes its blocks contiguously at the global
+// block offset of its partition, inside variable v's section of the
+// checkpoint.
+func (c Config) Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, error) {
+	if c.NXB <= 0 || c.NYB <= 0 || c.NZB <= 0 || c.BytesPerCell <= 0 ||
+		c.BlocksPerProc <= 0 || c.NumVars <= 0 {
+		return nil, fmt.Errorf("flashio: all dimensions must be positive")
+	}
+	counts := c.blockCounts(nprocs, seed)
+	starts := make([]int64, nprocs+1)
+	for i, n := range counts {
+		starts[i+1] = starts[i] + int64(n)
+	}
+	totalBlocks := starts[nprocs]
+	bb := c.BlockBytes()
+
+	views := make([]*fcoll.JobView, 0, c.NumVars)
+	for v := 0; v < c.NumVars; v++ {
+		ranks := make([]fcoll.RankView, nprocs)
+		for p := 0; p < nprocs; p++ {
+			// Variable v's section of the checkpoint file starts at
+			// v*totalBlocks*bb; process p's blocks are contiguous
+			// within it. Each variable is one dense collective write.
+			off := int64(v)*totalBlocks*bb + starts[p]*bb
+			n := int64(counts[p]) * bb
+			ranks[p].Extents = []datatype.Extent{{Off: off, Len: n}}
+			if dataMode {
+				b := make([]byte, n)
+				workload.FillPattern(b, p, seed+int64(v)*7919)
+				ranks[p].Data = b
+			}
+		}
+		jv, err := fcoll.NewJobView(ranks)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, jv)
+	}
+	return views, nil
+}
+
+var _ workload.Generator = Config{}

@@ -1,0 +1,101 @@
+package flashio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"collio/internal/datatype"
+)
+
+func TestDefaults(t *testing.T) {
+	cfg := Default()
+	if cfg.NXB != 8 || cfg.NYB != 8 || cfg.NZB != 8 || cfg.BytesPerCell != 8 {
+		t.Fatalf("block geometry %+v", cfg)
+	}
+	if cfg.BlockBytes() != 8*8*8*8 {
+		t.Fatalf("BlockBytes = %d", cfg.BlockBytes())
+	}
+	if cfg.Name() != "flashio" {
+		t.Fatalf("name = %q", cfg.Name())
+	}
+}
+
+func TestBalancedWhenNoJitter(t *testing.T) {
+	cfg := Default()
+	cfg.BlockJitter = 0
+	views, err := cfg.Views(5, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.BlockBytes() * int64(cfg.BlocksPerProc)
+	for v, jv := range views {
+		for r, rv := range jv.Ranks {
+			if rv.Size() != want {
+				t.Fatalf("var %d rank %d size %d, want %d", v, r, rv.Size(), want)
+			}
+			if len(rv.Extents) != 1 {
+				t.Fatalf("rank blocks not contiguous: %v", rv.Extents)
+			}
+		}
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	cfg := Config{NXB: 2, NYB: 2, NZB: 2, BytesPerCell: 8, BlocksPerProc: 10, BlockJitter: 3, NumVars: 1}
+	counts := cfg.blockCounts(50, 77)
+	for i, c := range counts {
+		if c < 7 || c > 13 {
+			t.Fatalf("rank %d block count %d outside 10±3", i, c)
+		}
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{NXB: 0, NYB: 1, NZB: 1, BytesPerCell: 1, BlocksPerProc: 1, NumVars: 1},
+		{NXB: 1, NYB: 1, NZB: 1, BytesPerCell: 1, BlocksPerProc: 0, NumVars: 1},
+		{NXB: 1, NYB: 1, NZB: 1, BytesPerCell: 1, BlocksPerProc: 1, NumVars: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.Views(2, false, 1); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+// Property: the per-variable views are each dense, abut exactly, and
+// sum to the (jittered) total volume.
+func TestCheckpointLayoutProperty(t *testing.T) {
+	prop := func(np8, blocks8, vars8, seed8 uint8) bool {
+		np := int(np8%9) + 1
+		cfg := Config{
+			NXB: 2, NYB: 2, NZB: 2, BytesPerCell: 8,
+			BlocksPerProc: int(blocks8%8) + 1,
+			BlockJitter:   int(blocks8 % 3),
+			NumVars:       int(vars8%5) + 1,
+		}
+		views, err := cfg.Views(np, false, int64(seed8))
+		if err != nil {
+			return false
+		}
+		if len(views) != cfg.NumVars {
+			return false
+		}
+		var prevEnd int64
+		var total int64
+		for _, jv := range views {
+			start, end := jv.Bounds()
+			if start != prevEnd {
+				return false
+			}
+			prevEnd = end
+			for _, rv := range jv.Ranks {
+				total += datatype.TotalLen(rv.Extents)
+			}
+		}
+		return total == prevEnd
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

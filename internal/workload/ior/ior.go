@@ -1,0 +1,71 @@
+// Package ior generates the IOR benchmark access pattern (§IV of the
+// reproduced paper): a 1-D data distribution where every process writes
+// contiguous blocks into a shared file. The paper sets transfer size =
+// block size = 1 GiB with segment count 1, creating files of
+// nprocs GiB; the simulator runs a documented scale-down of the block
+// size with the same shape (one contiguous extent per rank per
+// segment).
+package ior
+
+import (
+	"fmt"
+
+	"collio/internal/datatype"
+	"collio/internal/fcoll"
+	"collio/internal/workload"
+)
+
+// Config describes one IOR run.
+type Config struct {
+	// BlockSize is the contiguous bytes one rank writes per segment
+	// (the paper's -b, 1 GiB).
+	BlockSize int64
+	// Segments repeats the block pattern (the paper's -s, 1).
+	Segments int
+}
+
+// Default returns the paper's configuration scaled by 1/64: 16 MiB
+// blocks instead of 1 GiB (see EXPERIMENTS.md, scale notes).
+func Default() Config {
+	return Config{BlockSize: 16 << 20, Segments: 1}
+}
+
+// Name implements workload.Generator.
+func (c Config) Name() string { return "ior" }
+
+// TotalBytes implements workload.Generator.
+func (c Config) TotalBytes(nprocs int) int64 {
+	return c.BlockSize * int64(c.Segments) * int64(nprocs)
+}
+
+// Views implements workload.Generator: one collective write whose file
+// layout is segment-major, rank-minor contiguous blocks.
+func (c Config) Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, error) {
+	if c.BlockSize <= 0 || c.Segments <= 0 {
+		return nil, fmt.Errorf("ior: BlockSize and Segments must be positive")
+	}
+	ranks := make([]fcoll.RankView, nprocs)
+	segSpan := c.BlockSize * int64(nprocs)
+	for i := 0; i < nprocs; i++ {
+		es := make([]datatype.Extent, 0, c.Segments)
+		for s := 0; s < c.Segments; s++ {
+			es = append(es, datatype.Extent{
+				Off: int64(s)*segSpan + int64(i)*c.BlockSize,
+				Len: c.BlockSize,
+			})
+		}
+		ranks[i].Extents = es
+		if dataMode {
+			b := make([]byte, c.BlockSize*int64(c.Segments))
+			workload.FillPattern(b, i, seed)
+			ranks[i].Data = b
+		}
+	}
+	jv, err := fcoll.NewJobView(ranks)
+	if err != nil {
+		return nil, err
+	}
+	return []*fcoll.JobView{jv}, nil
+}
+
+var _ workload.Generator = Config{}

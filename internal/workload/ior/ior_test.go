@@ -1,0 +1,77 @@
+package ior
+
+import (
+	"testing"
+	"testing/quick"
+
+	"collio/internal/datatype"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := Default()
+	if cfg.BlockSize != 16<<20 || cfg.Segments != 1 {
+		t.Fatalf("default = %+v", cfg)
+	}
+	if cfg.Name() != "ior" {
+		t.Fatalf("name = %q", cfg.Name())
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	cfg := Config{BlockSize: 100, Segments: 3}
+	if got := cfg.TotalBytes(7); got != 2100 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []Config{{BlockSize: 0, Segments: 1}, {BlockSize: 1, Segments: 0}} {
+		if _, err := cfg.Views(2, false, 1); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestDataModeFillsBuffers(t *testing.T) {
+	cfg := Config{BlockSize: 128, Segments: 2}
+	views, err := cfg.Views(3, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rv := range views[0].Ranks {
+		if int64(len(rv.Data)) != 256 {
+			t.Fatalf("rank %d data len %d", i, len(rv.Data))
+		}
+	}
+}
+
+// Property: for any geometry, the view is dense, per-rank volume is
+// BlockSize*Segments, and extents are block-aligned.
+func TestViewProperty(t *testing.T) {
+	prop := func(np8, bs8, seg8 uint8) bool {
+		np := int(np8%7) + 1
+		bs := int64(bs8%200) + 1
+		seg := int(seg8%4) + 1
+		cfg := Config{BlockSize: bs, Segments: seg}
+		views, err := cfg.Views(np, false, 1)
+		if err != nil {
+			return false
+		}
+		jv := views[0]
+		for _, rv := range jv.Ranks {
+			if datatype.TotalLen(rv.Extents) != bs*int64(seg) {
+				return false
+			}
+			for _, e := range rv.Extents {
+				if e.Off%bs != 0 || e.Len != bs {
+					return false
+				}
+			}
+		}
+		start, end := jv.Bounds()
+		return start == 0 && end == cfg.TotalBytes(np)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package tileio generates the MPI-TILE-IO benchmark access pattern: a
+// dense 2-D dataset divided into tiles, one tile per process, laid out
+// row-major in the file. Each process's data is therefore a strided set
+// of row segments — the classic non-contiguous collective-write
+// pattern.
+//
+// The paper runs two configurations: 256-byte elements with 2048×1024
+// elements per process, and 1 MiB elements with 32×16 elements per
+// process (both 512 MiB per process); the process grid is square
+// (#tiles per dimension = sqrt(nprocs)). The simulator scales the
+// element counts down with the same shape; the element size — which
+// controls message-size class and fragmentation, the properties Fig. 4
+// turns on — is preserved.
+package tileio
+
+import (
+	"fmt"
+
+	"collio/internal/datatype"
+	"collio/internal/fcoll"
+	"collio/internal/workload"
+)
+
+// Config describes one Tile I/O run.
+type Config struct {
+	// ElemSize is the element ("tile") size in bytes: 256 or 1 MiB in
+	// the paper.
+	ElemSize int64
+	// ElemsX, ElemsY are the per-process tile dimensions in elements
+	// (X is the contiguous file direction).
+	ElemsX, ElemsY int64
+	// Label distinguishes configurations in reports (e.g. "tileio-256").
+	Label string
+}
+
+// Tile256 returns the paper's small-element configuration scaled by
+// 1/64 in element count (256 × 256 elements instead of 2048 × 1024).
+func Tile256() Config {
+	return Config{ElemSize: 256, ElemsX: 256, ElemsY: 256, Label: "tileio-256"}
+}
+
+// Tile1M returns the paper's large-element configuration scaled by 1/16
+// (8 × 4 elements of 1 MiB instead of 32 × 16), keeping several cycles
+// per aggregator at small rank counts.
+func Tile1M() Config {
+	return Config{ElemSize: 1 << 20, ElemsX: 8, ElemsY: 4, Label: "tileio-1M"}
+}
+
+// Name implements workload.Generator.
+func (c Config) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return "tileio"
+}
+
+// Grid returns the process-grid factorisation (nx × ny = nprocs) with
+// nx the largest divisor not exceeding sqrt(nprocs), so the grid is as
+// square as possible (the benchmark's configuration sets each dimension
+// to sqrt(nprocs) for square process counts).
+func Grid(nprocs int) (nx, ny int) {
+	nx = 1
+	for d := 1; d*d <= nprocs; d++ {
+		if nprocs%d == 0 {
+			nx = d
+		}
+	}
+	return nx, nprocs / nx
+}
+
+// TotalBytes implements workload.Generator.
+func (c Config) TotalBytes(nprocs int) int64 {
+	return c.ElemSize * c.ElemsX * c.ElemsY * int64(nprocs)
+}
+
+// Views implements workload.Generator: one collective write of the
+// whole 2-D dataset. The view of process (ty, tx) is an
+// MPI_Type_create_subarray of its tile within the global element grid.
+func (c Config) Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, error) {
+	if c.ElemSize <= 0 || c.ElemsX <= 0 || c.ElemsY <= 0 {
+		return nil, fmt.Errorf("tileio: element size and tile dims must be positive")
+	}
+	nx, ny := Grid(nprocs)
+	gx, gy := int64(nx)*c.ElemsX, int64(ny)*c.ElemsY
+	ranks := make([]fcoll.RankView, nprocs)
+	for p := 0; p < nprocs; p++ {
+		tx, ty := int64(p%nx), int64(p/nx)
+		sub := datatype.Subarray(
+			[]int64{gy, gx},
+			[]int64{c.ElemsY, c.ElemsX},
+			[]int64{ty * c.ElemsY, tx * c.ElemsX},
+			c.ElemSize,
+		)
+		ranks[p].Extents = datatype.Flatten(sub, 0)
+		if dataMode {
+			b := make([]byte, sub.Size())
+			workload.FillPattern(b, p, seed)
+			ranks[p].Data = b
+		}
+	}
+	jv, err := fcoll.NewJobView(ranks)
+	if err != nil {
+		return nil, err
+	}
+	return []*fcoll.JobView{jv}, nil
+}
+
+var _ workload.Generator = Config{}

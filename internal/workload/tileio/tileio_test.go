@@ -1,0 +1,93 @@
+package tileio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"collio/internal/datatype"
+)
+
+func TestPaperConfigs(t *testing.T) {
+	t256, t1m := Tile256(), Tile1M()
+	if t256.ElemSize != 256 || t1m.ElemSize != 1<<20 {
+		t.Fatal("element sizes wrong")
+	}
+	if t256.Name() != "tileio-256" || t1m.Name() != "tileio-1M" {
+		t.Fatalf("names: %q %q", t256.Name(), t1m.Name())
+	}
+	// The paper's configurations are both 512 MiB per process; the
+	// scaled defaults use 1/64 (tile256) and 1/16 (tile1M) so that the
+	// 1M runs keep enough cycles per aggregator at small rank counts.
+	if t256.TotalBytes(1) != 16<<20 || t1m.TotalBytes(1) != 32<<20 {
+		t.Fatalf("scaled volumes changed: %d / %d", t256.TotalBytes(1), t1m.TotalBytes(1))
+	}
+}
+
+func TestGridProperties(t *testing.T) {
+	prop := func(np16 uint16) bool {
+		np := int(np16%512) + 1
+		nx, ny := Grid(np)
+		return nx*ny == np && nx <= ny && nx >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfectSquareGrid(t *testing.T) {
+	for _, np := range []int{4, 9, 16, 256, 576, 729} {
+		nx, ny := Grid(np)
+		if nx != ny {
+			t.Fatalf("Grid(%d) = %d×%d, want square", np, nx, ny)
+		}
+	}
+}
+
+func TestRowCoalescing(t *testing.T) {
+	// A 1×N process grid means each rank's rows touch the full file
+	// width: rows are contiguous only within the rank's own tile.
+	cfg := Config{ElemSize: 4, ElemsX: 8, ElemsY: 3}
+	views, err := cfg.Views(2, false, 1) // grid 1×2: tiles stacked in y
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stacked tiles with full-width rows coalesce to ONE extent each.
+	for i, rv := range views[0].Ranks {
+		if len(rv.Extents) != 1 {
+			t.Fatalf("rank %d extents = %v", i, rv.Extents)
+		}
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	if _, err := (Config{ElemSize: 0, ElemsX: 1, ElemsY: 1}).Views(1, false, 1); err == nil {
+		t.Fatal("zero element size accepted")
+	}
+}
+
+// Property: views are dense and per-rank volume matches the tile.
+func TestViewProperty(t *testing.T) {
+	prop := func(np8, ex8, ey8, es8 uint8) bool {
+		np := int(np8%12) + 1
+		cfg := Config{
+			ElemSize: int64(es8%32) + 1,
+			ElemsX:   int64(ex8%6) + 1,
+			ElemsY:   int64(ey8%6) + 1,
+		}
+		views, err := cfg.Views(np, false, 1)
+		if err != nil {
+			return false
+		}
+		want := cfg.ElemSize * cfg.ElemsX * cfg.ElemsY
+		for _, rv := range views[0].Ranks {
+			if datatype.TotalLen(rv.Extents) != want {
+				return false
+			}
+		}
+		start, end := views[0].Bounds()
+		return start == 0 && end == cfg.TotalBytes(np)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

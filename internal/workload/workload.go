@@ -1,0 +1,35 @@
+// Package workload defines the common interface of the paper's three
+// benchmark workload generators (IOR, MPI-TILE-IO, FLASH-IO): each
+// produces the sequence of collective-write job views the benchmark
+// issues.
+package workload
+
+import "collio/internal/fcoll"
+
+// Generator produces the collective writes of one benchmark
+// configuration.
+type Generator interface {
+	// Name identifies the benchmark configuration (e.g. "ior",
+	// "tileio-256", "flashio").
+	Name() string
+	// Views returns the job views of the benchmark's collective writes,
+	// in issue order. dataMode attaches real bytes (verification);
+	// experiments run symbolic. seed controls data contents only.
+	Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, error)
+	// TotalBytes returns the benchmark's total data volume for nprocs
+	// ranks.
+	TotalBytes(nprocs int) int64
+}
+
+// FillPattern fills b with a deterministic per-rank pattern used by the
+// generators in data mode (cheap, seedable, detects misplaced bytes).
+func FillPattern(b []byte, rank int, seed int64) {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + uint64(rank)*0xBF58476D1CE4E5B9 + 1
+	for i := range b {
+		// xorshift64*
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		b[i] = byte((s * 0x2545F4914F6CDD1D) >> 56)
+	}
+}

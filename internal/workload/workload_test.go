@@ -1,0 +1,268 @@
+package workload_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"collio/internal/datatype"
+	"collio/internal/fcoll"
+	"collio/internal/mpi"
+	"collio/internal/mpiio"
+	"collio/internal/platform"
+	"collio/internal/workload"
+	"collio/internal/workload/flashio"
+	"collio/internal/workload/ior"
+	"collio/internal/workload/tileio"
+)
+
+func TestIORViewShape(t *testing.T) {
+	cfg := ior.Config{BlockSize: 1000, Segments: 3}
+	views, err := cfg.Views(4, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 {
+		t.Fatalf("ior produced %d views", len(views))
+	}
+	jv := views[0]
+	if got := jv.TotalBytes(); got != cfg.TotalBytes(4) {
+		t.Fatalf("total = %d, want %d", got, cfg.TotalBytes(4))
+	}
+	// Rank 2, segment 1 extent: offset 1*4000 + 2*1000.
+	e := jv.Ranks[2].Extents[1]
+	if e.Off != 6000 || e.Len != 1000 {
+		t.Fatalf("extent = %+v", e)
+	}
+	start, end := jv.Bounds()
+	if start != 0 || end != 12000 {
+		t.Fatalf("bounds = %d..%d", start, end)
+	}
+}
+
+func TestTileGrid(t *testing.T) {
+	cases := []struct{ np, nx, ny int }{
+		{16, 4, 4}, {36, 6, 6}, {24, 4, 6}, {7, 1, 7}, {1, 1, 1}, {576, 24, 24},
+	}
+	for _, c := range cases {
+		nx, ny := tileio.Grid(c.np)
+		if nx != c.nx || ny != c.ny {
+			t.Fatalf("Grid(%d) = %d×%d, want %d×%d", c.np, nx, ny, c.nx, c.ny)
+		}
+		if nx*ny != c.np {
+			t.Fatalf("Grid(%d) does not partition", c.np)
+		}
+	}
+}
+
+func TestTileViewFragmentation(t *testing.T) {
+	// 4 procs in a 2×2 grid, 3×2 elements of 10 bytes each: each rank
+	// has 2 row-runs of 30 bytes.
+	cfg := tileio.Config{ElemSize: 10, ElemsX: 3, ElemsY: 2}
+	views, err := cfg.Views(4, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv := views[0]
+	for p, rv := range jv.Ranks {
+		if len(rv.Extents) != 2 {
+			t.Fatalf("rank %d has %d extents, want 2 (row runs)", p, len(rv.Extents))
+		}
+		for _, e := range rv.Extents {
+			if e.Len != 30 {
+				t.Fatalf("rank %d run length %d, want 30", p, e.Len)
+			}
+		}
+	}
+	// Rank 1 (tx=1, ty=0): first run at row 0, col 3 -> offset 30.
+	if jv.Ranks[1].Extents[0].Off != 30 {
+		t.Fatalf("rank 1 first extent at %d, want 30", jv.Ranks[1].Extents[0].Off)
+	}
+	// Rank 2 (tx=0, ty=1): first run at row 2 -> offset 2*60 = 120.
+	if jv.Ranks[2].Extents[0].Off != 120 {
+		t.Fatalf("rank 2 first extent at %d, want 120", jv.Ranks[2].Extents[0].Off)
+	}
+}
+
+func TestTilePaperConfigsShapes(t *testing.T) {
+	// The two paper configurations have equal per-process volume:
+	// element size ratio 4096 is compensated by element count.
+	t256, t1m := tileio.Tile256(), tileio.Tile1M()
+	if t256.TotalBytes(16) != t1m.TotalBytes(16)*0+t256.TotalBytes(16) {
+		t.Skip("volumes independent")
+	}
+	v256, err := t256.Views(16, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1m, err := t1m.Views(16, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile256 fragments much harder than Tile1M.
+	f256 := len(v256[0].Ranks[0].Extents)
+	f1m := len(v1m[0].Ranks[0].Extents)
+	if f256 <= f1m {
+		t.Fatalf("tile256 fragments (%d) should exceed tile1M (%d)", f256, f1m)
+	}
+	// Every extent of tile1M is >= 1 MiB (contiguous large runs).
+	for _, e := range v1m[0].Ranks[0].Extents {
+		if e.Len < 1<<20 {
+			t.Fatalf("tile1M run of %d bytes", e.Len)
+		}
+	}
+}
+
+func TestFlashViewsPerVariable(t *testing.T) {
+	cfg := flashio.Config{NXB: 4, NYB: 4, NZB: 4, BytesPerCell: 8, BlocksPerProc: 3, BlockJitter: 1, NumVars: 5}
+	views, err := cfg.Views(6, false, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 5 {
+		t.Fatalf("flash produced %d views, want 5", len(views))
+	}
+	// Sections must abut: view v+1 starts where view v ends.
+	for v := 0; v+1 < len(views); v++ {
+		_, end := views[v].Bounds()
+		start, _ := views[v+1].Bounds()
+		if end != start {
+			t.Fatalf("variable sections not contiguous: %d then %d", end, start)
+		}
+	}
+	// Deterministic jitter.
+	views2, _ := cfg.Views(6, false, 42)
+	for v := range views {
+		a, _ := views[v].Bounds()
+		b, _ := views2[v].Bounds()
+		if a != b {
+			t.Fatal("flash views not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestFlashImbalance(t *testing.T) {
+	cfg := flashio.Default()
+	views, err := cfg.Views(8, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[int64]bool{}
+	for _, rv := range views[0].Ranks {
+		sizes[rv.Size()] = true
+	}
+	if len(sizes) < 2 {
+		t.Fatal("jittered flash produced perfectly balanced ranks")
+	}
+}
+
+func TestFillPatternDeterministicAndRankDependent(t *testing.T) {
+	a, b, c := make([]byte, 64), make([]byte, 64), make([]byte, 64)
+	workload.FillPattern(a, 1, 9)
+	workload.FillPattern(b, 1, 9)
+	workload.FillPattern(c, 2, 9)
+	if !bytes.Equal(a, b) {
+		t.Fatal("pattern not deterministic")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("pattern not rank-dependent")
+	}
+}
+
+// TestWorkloadsEndToEnd drives every generator through the full stack
+// (platform → collective write → simulated FS) in data mode and checks
+// the resulting file byte for byte.
+func TestWorkloadsEndToEnd(t *testing.T) {
+	gens := []workload.Generator{
+		ior.Config{BlockSize: 64 << 10, Segments: 2},
+		tileio.Config{ElemSize: 256, ElemsX: 32, ElemsY: 16, Label: "tileio-256"},
+		tileio.Config{ElemSize: 64 << 10, ElemsX: 4, ElemsY: 2, Label: "tileio-1M"},
+		flashio.Config{NXB: 4, NYB: 4, NZB: 4, BytesPerCell: 8, BlocksPerProc: 6, BlockJitter: 2, NumVars: 3},
+	}
+	for _, gen := range gens {
+		for _, algo := range []fcoll.Algorithm{fcoll.NoOverlap, fcoll.WriteComm2Overlap} {
+			gen, algo := gen, algo
+			t.Run(fmt.Sprintf("%s/%v", gen.Name(), algo), func(t *testing.T) {
+				const np = 4
+				pf := platform.Crill()
+				pf.RanksPerNode = 2
+				pf.Nodes = 2
+				cl, err := pf.Instantiate(np, 123)
+				if err != nil {
+					t.Fatal(err)
+				}
+				views, err := gen.Views(np, true, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				file := mpiio.Open(cl.World, cl.FS.Open("bench"))
+				file.SetCollectiveOptions(fcoll.Options{
+					Algorithm:  algo,
+					BufferSize: 64 << 10,
+				})
+				cl.World.Launch(func(r *mpi.Rank) {
+					for _, jv := range views {
+						if _, err := file.WriteAll(r, jv); err != nil {
+							t.Errorf("rank %d: %v", r.ID(), err)
+						}
+					}
+				})
+				cl.Kernel.Run()
+
+				// Assemble the expected image across all views.
+				var end int64
+				for _, jv := range views {
+					_, e := jv.Bounds()
+					if e > end {
+						end = e
+					}
+				}
+				want := make([]byte, end)
+				for _, jv := range views {
+					for i := range jv.Ranks {
+						rv := &jv.Ranks[i]
+						var src int64
+						for _, e := range rv.Extents {
+							copy(want[e.Off:e.End()], rv.Data[src:src+e.Len])
+							src += e.Len
+						}
+					}
+				}
+				raw := file.Raw()
+				if !raw.Contiguous() {
+					t.Fatalf("file has holes: %v", raw.Coverage())
+				}
+				got := raw.ReadBack(0, end)
+				if !bytes.Equal(got, want) {
+					t.Fatal("file contents differ from expected image")
+				}
+			})
+		}
+	}
+}
+
+// TestViewExtentsValidate double-checks generator outputs against the
+// datatype validator for a spread of process counts.
+func TestViewExtentsValidate(t *testing.T) {
+	gens := []workload.Generator{
+		ior.Default(),
+		tileio.Tile256(),
+		tileio.Tile1M(),
+		flashio.Default(),
+	}
+	for _, gen := range gens {
+		for _, np := range []int{1, 2, 5, 16} {
+			views, err := gen.Views(np, false, 1)
+			if err != nil {
+				t.Fatalf("%s np=%d: %v", gen.Name(), np, err)
+			}
+			for _, jv := range views {
+				for r := range jv.Ranks {
+					if err := datatype.Validate(jv.Ranks[r].Extents); err != nil {
+						t.Fatalf("%s np=%d rank %d: %v", gen.Name(), np, r, err)
+					}
+				}
+			}
+		}
+	}
+}
