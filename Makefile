@@ -1,0 +1,27 @@
+# collio build/verify entry points. `make check` is the tier-1 gate
+# (see ROADMAP.md): compile, vet, the collvet invariant suite, and the
+# full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet collvet test race bench
+
+check: build vet collvet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+collvet:
+	$(GO) run ./cmd/collvet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,238 @@
+package analyzer
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RequestLeak flags *mpi.Request values returned by Isend/Irecv that
+// never reach a Wait-family sink. The simulator's progress engine is
+// pull-based — matching, rendezvous handshakes and completion detection
+// happen while a rank is inside an MPI call — so a request that is never
+// waited is not just a lost handle: its protocol state (posted-receive
+// queue entries, rendezvous peers blocked on CTS) leaks into every
+// later measurement on the same world.
+//
+// A request is considered sunk when its value escapes to any of: a call
+// argument (Wait/WaitFutures and helpers alike), a method call on the
+// request (Done/Future/Received), a return statement, a composite
+// literal, a struct field, a channel send, or a slice that is itself
+// sunk. Appending to a local slice that is never subsequently used is a
+// leak of every request it holds.
+var RequestLeak = &Analyzer{
+	Name: "requestleak",
+	Doc:  "flag mpi requests from Isend/Irecv that never reach a Wait/Done sink",
+	Run:  runRequestLeak,
+}
+
+func runRequestLeak(pass *Pass) error {
+	for _, fb := range funcDecls(pass.Files) {
+		checkRequestLeaks(pass, fb.decl)
+	}
+	return nil
+}
+
+// isRequestCreation reports whether call creates a request (Isend or
+// Irecv on the mpi runtime).
+func isRequestCreation(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if isMethod(fn, "mpi", "Isend") || isMethod(fn, "mpi", "Irecv") {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// flowResult classifies where a value-producing expression's result
+// goes.
+type flowResult int
+
+const (
+	flowSunk    flowResult = iota // escapes to a consumer — fine
+	flowDropped                   // statement-dropped or blank-assigned
+	flowTracked                   // lands in a local variable
+)
+
+// valueFlow walks up from expression node e and classifies its result.
+// When the result lands in a local variable, the variable's object is
+// returned.
+func valueFlow(info *types.Info, parents map[ast.Node]ast.Node, e ast.Node) (flowResult, types.Object) {
+	for {
+		parent := parents[e]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			e = p
+			continue
+		case *ast.ExprStmt:
+			return flowDropped, nil
+		case *ast.AssignStmt:
+			// Locate which RHS position e occupies; tuple assigns from
+			// a single call cannot involve Isend/Irecv (one result).
+			for i, rhs := range p.Rhs {
+				if rhs != e {
+					continue
+				}
+				if len(p.Lhs) != len(p.Rhs) {
+					return flowSunk, nil
+				}
+				switch lhs := p.Lhs[i].(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						return flowDropped, nil
+					}
+					if obj := identObj(info, lhs); obj != nil {
+						return flowTracked, obj
+					}
+					return flowSunk, nil
+				default:
+					// Field, map or slice element: escapes.
+					return flowSunk, nil
+				}
+			}
+			return flowSunk, nil
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if v != e || i >= len(p.Names) {
+					continue
+				}
+				if p.Names[i].Name == "_" {
+					return flowDropped, nil
+				}
+				if obj := info.Defs[p.Names[i]]; obj != nil {
+					return flowTracked, obj
+				}
+			}
+			return flowSunk, nil
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					// The value flows into append's result.
+					e = ast.Node(p)
+					continue
+				}
+			}
+			return flowSunk, nil // argument to a real call
+		default:
+			return flowSunk, nil
+		}
+	}
+}
+
+// checkRequestLeaks analyzes one declared function (closures included).
+func checkRequestLeaks(pass *Pass, decl *ast.FuncDecl) {
+	parents := buildParents(decl)
+	type creation struct {
+		call *ast.CallExpr
+		op   string
+		obj  types.Object // nil when dropped outright
+	}
+	var creations []creation
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := isRequestCreation(pass, call)
+		if !ok {
+			return true
+		}
+		res, obj := valueFlow(pass.Info, parents, call)
+		switch res {
+		case flowDropped:
+			pass.Reportf(call.Pos(), "result of %s is dropped; the request can never be waited", op)
+		case flowTracked:
+			creations = append(creations, creation{call: call, op: op, obj: obj})
+		}
+		return true
+	})
+	sunkCache := map[types.Object]bool{}
+	for _, c := range creations {
+		if !objIsSunk(pass, decl, parents, c.obj, map[types.Object]bool{}, sunkCache) {
+			pass.Reportf(c.call.Pos(), "request from %s assigned to %q is never waited or handed off (leaked)", c.op, c.obj.Name())
+		}
+	}
+}
+
+// objIsSunk reports whether any use of obj inside decl consumes the
+// value (see RequestLeak doc for the sink set). visiting guards
+// append-into-self cycles; cache memoises across creations.
+func objIsSunk(pass *Pass, decl *ast.FuncDecl, parents map[ast.Node]ast.Node, obj types.Object, visiting map[types.Object]bool, cache map[types.Object]bool) bool {
+	if done, ok := cache[obj]; ok {
+		return done
+	}
+	if visiting[obj] {
+		return false
+	}
+	visiting[obj] = true
+	defer delete(visiting, obj)
+
+	sunk := false
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if sunk {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		switch p := parents[id].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == ast.Expr(id) {
+					return true // overwrite target, not a consumer
+				}
+			}
+			sunk = true // RHS use outside a call: flows somewhere
+		case *ast.BinaryExpr:
+			// Comparison (req == nil) observes, it does not consume.
+			return true
+		case *ast.CallExpr:
+			if fid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[fid].(*types.Builtin); ok {
+					switch b.Name() {
+					case "append":
+						// Flows into the append result: sunk iff the
+						// destination container is.
+						res, dst := valueFlow(pass.Info, parents, ast.Node(p))
+						switch res {
+						case flowTracked:
+							if objIsSunk(pass, decl, parents, dst, visiting, cache) {
+								sunk = true
+							}
+						case flowSunk:
+							sunk = true
+						}
+						return true
+					case "len", "cap":
+						return true // observation, not consumption
+					}
+				}
+			}
+			sunk = true // argument to a real call (Wait, helper, ...)
+		default:
+			// Selector (method call/field), return, composite literal,
+			// channel send, address-of, range, index, ...: escapes.
+			sunk = true
+		}
+		return true
+	})
+	cache[obj] = sunk
+	return sunk
+}
+
+// buildParents records each node's syntactic parent within root.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,75 @@
+// Fixtures for the blockingoutsiderank analyzer: blocking MPI/process
+// calls are forbidden inside kernel event callbacks (OnDone/After/At),
+// which run inline in the kernel goroutine with no process to park.
+package blocking
+
+import (
+	"mpi"
+	"sim"
+)
+
+func badDirect(f *sim.Future, r *mpi.Rank) {
+	f.OnDone(func() {
+		r.Barrier() // want `blocking call mpi.Barrier inside a kernel event callback`
+	})
+}
+
+func badAfter(k *sim.Kernel, r *mpi.Rank, q *mpi.Request) {
+	k.After(10, func() {
+		r.Wait(q) // want `blocking call mpi.Wait inside a kernel event callback`
+	})
+}
+
+func badAt(k *sim.Kernel, p *sim.Proc) {
+	k.At(100, func() {
+		p.Sleep(5) // want `blocking call sim.Sleep inside a kernel event callback`
+	})
+}
+
+func helperBlocks(r *mpi.Rank) {
+	r.Barrier()
+}
+
+func badTransitive(f *sim.Future, r *mpi.Rank) {
+	f.OnDone(func() {
+		helperBlocks(r) // want `helperBlocks, reached from a kernel event callback, calls blocking mpi.Barrier`
+	})
+}
+
+func badBoundMethod(f *sim.Future, p *sim.Proc) {
+	f.OnDone(p.Yield) // want `blocking call sim.Yield registered as a kernel event callback`
+}
+
+// --- near misses: non-blocking callbacks and fresh-process bodies stay silent ---
+
+func goodComplete(f, g *sim.Future) {
+	f.OnDone(g.Complete) // Complete never parks a process
+}
+
+func goodNestedRegistration(f *sim.Future, k *sim.Kernel) {
+	f.OnDone(func() {
+		k.After(5, func() {}) // registering more events is fine
+	})
+}
+
+func goodSpawnFromCallback(f *sim.Future, k *sim.Kernel, r *mpi.Rank) {
+	f.OnDone(func() {
+		k.Spawn("worker", func(p *sim.Proc) {
+			r.Barrier() // fresh process: blocking is legitimate here
+		})
+	})
+}
+
+func goodProcessContext(r *mpi.Rank, q *mpi.Request) {
+	r.Wait(q) // plain rank-body code, not event context
+}
+
+func helperDoesNotBlock(f *sim.Future) bool {
+	return f.Done()
+}
+
+func goodTransitiveNonBlocking(f, g *sim.Future) {
+	f.OnDone(func() {
+		_ = helperDoesNotBlock(g)
+	})
+}

@@ -1,0 +1,56 @@
+// Fixtures for the payloadalias analyzer: buffers handed to Isend/Put
+// must not be written until the operation completes.
+package payloadalias
+
+import "mpi"
+
+func badIsendWrite(r *mpi.Rank, buf []byte) {
+	q := r.Isend(1, 0, mpi.Bytes(buf))
+	buf[0] = 1 // want `write to "buf" while it is in flight`
+	r.Wait(q)
+}
+
+func badPutCopy(r *mpi.Rank, win *mpi.Window, buf, src []byte) {
+	r.Put(win, 1, 0, mpi.Bytes(buf))
+	copy(buf, src) // want `copy into "buf" while it is in flight`
+	r.WinFence(win)
+}
+
+func badViaPayloadVar(r *mpi.Rank, win *mpi.Window, data []byte) {
+	pl := mpi.Bytes(data[4:8])
+	r.Put(win, 0, 0, pl)
+	data[5] = 9 // want `write to "data" while it is in flight`
+	r.WinUnlock(win, 0)
+}
+
+// --- near misses: completed epochs and unrelated buffers stay silent ---
+
+func goodAfterWait(r *mpi.Rank, buf []byte) {
+	q := r.Isend(1, 0, mpi.Bytes(buf))
+	r.Wait(q)
+	buf[0] = 1 // operation already completed
+}
+
+func goodAfterFence(r *mpi.Rank, win *mpi.Window, buf []byte) {
+	r.Put(win, 1, 0, mpi.Bytes(buf))
+	r.WinFence(win)
+	buf[0] = 1 // fence closed the epoch
+}
+
+func goodAfterUnlock(r *mpi.Rank, win *mpi.Window, buf, src []byte) {
+	r.Put(win, 2, 0, mpi.Bytes(buf))
+	r.WinUnlock(win, 2)
+	copy(buf, src)
+}
+
+func goodOtherBuffer(r *mpi.Rank, a, b []byte) {
+	q := r.Isend(1, 0, mpi.Bytes(a))
+	b[0] = 1 // distinct buffer
+	r.Wait(q)
+}
+
+func goodWriteBeforeSend(r *mpi.Rank, buf []byte) {
+	buf[0] = 1 // not yet in flight
+	q := r.Isend(1, 0, mpi.Bytes(buf))
+	r.Wait(q)
+}

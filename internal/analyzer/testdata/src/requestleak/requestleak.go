@@ -1,0 +1,58 @@
+// Fixtures for the requestleak analyzer: requests from Isend/Irecv must
+// reach a Wait-family sink.
+package requestleak
+
+import "mpi"
+
+func droppedOutright(r *mpi.Rank) {
+	r.Isend(1, 0, mpi.Symbolic(8)) // want `result of Isend is dropped`
+	buf := make([]byte, 8)
+	_ = r.Irecv(1, 0, 8, buf) // want `result of Irecv is dropped`
+}
+
+func leakedVar(r *mpi.Rank) bool {
+	req := r.Isend(1, 0, mpi.Symbolic(8)) // want `request from Isend assigned to "req" is never waited`
+	return req != nil                     // comparison observes, does not consume
+}
+
+func leakedSlice(r *mpi.Rank) {
+	var reqs []*mpi.Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, r.Isend(i, 0, mpi.Symbolic(8))) // want `request from Isend assigned to "reqs" is never waited`
+	}
+}
+
+// --- near misses: every shape below sinks the request and must stay silent ---
+
+func waited(r *mpi.Rank) {
+	req := r.Isend(1, 0, mpi.Symbolic(8))
+	r.Wait(req)
+}
+
+func waitedSlice(r *mpi.Rank) {
+	var reqs []*mpi.Request
+	buf := make([]byte, 8)
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, r.Irecv(i, 0, 8, buf))
+	}
+	r.Wait(reqs...)
+}
+
+func returned(r *mpi.Rank) *mpi.Request {
+	return r.Isend(1, 0, mpi.Symbolic(8)) // escapes to the caller
+}
+
+func polled(r *mpi.Rank) {
+	req := r.Isend(1, 0, mpi.Symbolic(8))
+	for !req.Done() { // method use is a sink
+	}
+}
+
+func handedOff(r *mpi.Rank, out *[]*mpi.Request) {
+	*out = append(*out, r.Isend(1, 0, mpi.Symbolic(8))) // escapes through the pointer
+}
+
+func waitedViaFuture(r *mpi.Rank) {
+	req := r.Irecv(0, 0, 8, make([]byte, 8))
+	r.WaitFutures(req.Future())
+}

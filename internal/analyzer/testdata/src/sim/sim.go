@@ -1,0 +1,36 @@
+// Package sim is a minimal stub of collio/internal/sim for analyzer
+// fixtures. The analyzers recognize simulator entities by package NAME
+// and method name, so these empty-bodied shapes are all that is needed
+// to exercise every code path without importing the real kernel.
+package sim
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Future mirrors the kernel's completion handle.
+type Future struct{ done bool }
+
+func (f *Future) Done() bool       { return f.done }
+func (f *Future) Complete()        { f.done = true }
+func (f *Future) OnDone(fn func()) { _ = fn }
+func (f *Future) Join(g *Future)   { _ = g }
+
+// Proc mirrors a simulated process.
+type Proc struct{}
+
+func (p *Proc) Wait(f *Future) error        { return nil }
+func (p *Proc) WaitAll(fs ...*Future) error { return nil }
+func (p *Proc) WaitAny(fs ...*Future) int   { return 0 }
+func (p *Proc) Sleep(d Time)                {}
+func (p *Proc) Yield()                      {}
+
+// Kernel mirrors the DES scheduler surface used by the analyzers.
+type Kernel struct{}
+
+func (k *Kernel) After(d Time, fn func())                   { _ = fn }
+func (k *Kernel) At(t Time, fn func())                      { _ = fn }
+func (k *Kernel) NewFuture() *Future                        { return &Future{} }
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc { return &Proc{} }
+func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	return &Proc{}
+}

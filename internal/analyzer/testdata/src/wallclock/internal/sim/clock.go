@@ -1,0 +1,83 @@
+// Fixtures for the wallclock analyzer, placed on a deterministic-zone
+// import path (…/internal/sim): wall-clock reads, global math/rand and
+// map-order-dependent writes are forbidden here.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badNow() time.Time {
+	return time.Now() // want `wall-clock call time.Now`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock call time.Since`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want `global math/rand source via rand.Intn`
+}
+
+func badMapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over map`
+	}
+	return out
+}
+
+func badMapWrite(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		last = v // want `write to "last" inside range over map`
+	}
+	return last
+}
+
+func badMapConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation onto "s" inside range over map`
+	}
+	return s
+}
+
+// --- near misses: deterministic by construction, must stay silent ---
+
+func goodSeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructor + method calls on a seeded source
+	return rng.Intn(10)
+}
+
+func goodDurationMath(d time.Duration) string {
+	return (d * 2).String() // deterministic time API
+}
+
+func goodSortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // order re-established by the sort below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // numeric accumulation commutes
+	}
+	return total
+}
+
+func goodKeyedWrites(m map[int]int, arr []int) map[int]bool {
+	seen := map[int]bool{}
+	for k, v := range m {
+		seen[k] = true // map insert keyed by range var
+		arr[k] = v     // distinct cells indexed by range key
+	}
+	return seen
+}

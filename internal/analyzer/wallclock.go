@@ -1,0 +1,317 @@
+package analyzer
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallClock enforces the determinism contract of the simulator core:
+// inside the deterministic zone (the DES kernel and everything whose
+// behaviour feeds the virtual clock) all time comes from the sim kernel
+// and all randomness from an explicitly seeded source. Three hazard
+// classes are flagged:
+//
+//  1. wall-clock calls (time.Now, time.Since, ...) — host time leaking
+//     into simulated state makes runs irreproducible;
+//  2. top-level math/rand functions (rand.Intn, rand.Float64, ...) —
+//     they draw from the global, unseeded, process-wide source
+//     (constructors like rand.New/rand.NewSource are the sanctioned
+//     path and are exempt);
+//  3. map-iteration-order-dependent writes — appending to an outer
+//     slice, building strings, or writing through outer variables from
+//     inside a `range m` loop over a map bakes Go's randomized
+//     iteration order into simulation results.
+//
+// Packages outside DeterministicZones may use all of the above freely
+// (CLI tools print wall-clock progress, tests time themselves).
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock time, global math/rand and map-order-dependent writes in simulator packages",
+	Run:  runWallClock,
+}
+
+// DeterministicZones lists the package-path fragments (segment-aligned)
+// that make up the deterministic simulator core.
+var DeterministicZones = []string{
+	"internal/sim",
+	"internal/simnet",
+	"internal/simfs",
+	"internal/mpi",
+	"internal/mpiio",
+	"internal/fcoll",
+}
+
+// inDeterministicZone reports whether import path p lies in the zone.
+func inDeterministicZone(p string) bool {
+	for _, z := range DeterministicZones {
+		if pathHasSegments(p, z) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathHasSegments reports whether the slash-separated segment sequence
+// frag occurs, segment-aligned, inside path ("a/internal/sim/b" matches
+// "internal/sim"; "a/internal/simnet" does not).
+func pathHasSegments(path, frag string) bool {
+	segs := strings.Split(path, "/")
+	want := strings.Split(frag, "/")
+	for i := 0; i+len(want) <= len(segs); i++ {
+		match := true
+		for j := range want {
+			if segs[i+j] != want[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the package-level time functions that read or act
+// on the host clock. (Parsing and formatting helpers like time.Parse or
+// time.Duration arithmetic are deterministic and permitted.)
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandConstructors are the math/rand entry points that build an
+// explicitly seeded source; everything else at package level draws from
+// the global source.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !inDeterministicZone(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClockCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, parents)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWallClockCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn on a seeded source) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"wall-clock call time.%s inside deterministic simulator package %s; all time must come from the sim kernel",
+				fn.Name(), pass.Pkg.Path())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand source via rand.%s inside deterministic simulator package %s; use an explicitly seeded *rand.Rand (e.g. the kernel's)",
+				fn.Name(), pass.Pkg.Path())
+		}
+	}
+}
+
+// checkMapRange flags order-dependent writes inside `for ... range m`
+// when m is a map. Writes that are order-independent by construction are
+// exempted: inserts keyed by the range variable (m2[k] = v), writes
+// whose destination index is the range key, commutative numeric
+// accumulation (sum += v), and appends whose result is subsequently
+// sorted in the same function (the sanctioned collect-then-sort idiom).
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, parents map[ast.Node]ast.Node) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	// Objects introduced by the range statement and its body are "inner";
+	// writes through anything else are order-sensitive candidates.
+	inner := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				inner[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() == ":=" {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							inner[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					inner[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	rangeVarUsed := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		used := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && inner[obj] {
+					used = true
+				}
+			}
+			return !used
+		})
+		return used
+	}
+	outerRoot := func(e ast.Expr) types.Object {
+		id := rootIdent(e)
+		if id == nil {
+			return nil
+		}
+		obj := identObj(pass.Info, id)
+		if obj == nil || inner[obj] {
+			return nil
+		}
+		return obj
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			root := outerRoot(lhs)
+			if root == nil {
+				continue
+			}
+			var rhs ast.Expr
+			if i < len(asg.Rhs) {
+				rhs = asg.Rhs[i]
+			} else if len(asg.Rhs) == 1 {
+				rhs = asg.Rhs[0]
+			}
+			switch asg.Tok.String() {
+			case ":=":
+				continue
+			case "=":
+				// append into an outer slice with loop-dependent values:
+				// element order follows map iteration order.
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+						if b, ok := pass.Info.Uses[fid].(*types.Builtin); ok && b.Name() == "append" && rangeVarUsed(call) {
+							if !sortedLaterInFunc(pass, parents, rng, root) {
+								pass.Reportf(asg.Pos(),
+									"append to %q inside range over map: element order depends on map iteration order", root.Name())
+							}
+							continue
+						}
+					}
+				}
+				// Map inserts keyed by the range variable commute.
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if bt := pass.Info.TypeOf(idx.X); bt != nil {
+						if _, isMap := bt.Underlying().(*types.Map); isMap {
+							continue
+						}
+					}
+					if rangeVarUsed(idx.Index) {
+						continue // out[k] = v writes distinct cells
+					}
+				}
+				if rangeVarUsed(rhs) {
+					pass.Reportf(asg.Pos(),
+						"write to %q inside range over map depends on iteration order (last writer wins nondeterministically)", root.Name())
+				}
+			default:
+				// Op-assign: numeric accumulation commutes; string
+				// concatenation does not.
+				if asg.Tok.String() == "+=" && rhs != nil && rangeVarUsed(rhs) {
+					if bt, ok := pass.Info.TypeOf(lhs).Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+						pass.Reportf(asg.Pos(),
+							"string concatenation onto %q inside range over map depends on iteration order", root.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedLaterInFunc reports whether obj is passed to a sort/slices
+// function anywhere in the function enclosing rng. The collect-then-sort
+// idiom (append all keys inside the range, sort.Strings after the loop)
+// re-establishes a deterministic order, so the in-loop append is
+// harmless and must not be flagged.
+func sortedLaterInFunc(pass *Pass, parents map[ast.Node]ast.Node, rng ast.Node, obj types.Object) bool {
+	var scope ast.Node
+	for n := parents[rng]; n != nil; n = parents[n] {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			scope = fd.Body
+			break
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			scope = fl.Body
+			break
+		}
+	}
+	if scope == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			if id := rootIdent(a); id != nil && identObj(pass.Info, id) == obj {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

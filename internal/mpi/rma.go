@@ -34,6 +34,7 @@ type Window struct {
 	heldLocks    []map[int]bool          // per-origin set of locked targets
 	postOrigins  [][]int                 // per-target PSCW exposure group
 	startTargets [][]int                 // per-origin PSCW access group
+	ctlSends     [][]*Request            // per-rank in-flight PSCW control sends
 
 	allocBarrier int // ranks still to arrive at creation barrier
 }
@@ -72,6 +73,7 @@ func (r *Rank) WinAllocate(size int64, withData bool) *Window {
 			heldLocks:    make([]map[int]bool, w.cfg.NProcs),
 			postOrigins:  make([][]int, w.cfg.NProcs),
 			startTargets: make([][]int, w.cfg.NProcs),
+			ctlSends:     make([][]*Request, w.cfg.NProcs),
 		}
 		for i := range nw.perTarget {
 			nw.perTarget[i] = make(map[int][]*sim.Future)
@@ -302,7 +304,11 @@ func (r *Rank) WinPost(win *Window, origins []int) {
 	defer e.exit()
 	r.p.Sleep(r.w.cfg.CallOverhead)
 	for _, o := range origins {
-		r.Isend(o, pscwTag(win.id), Symbolic(r.w.cfg.CtrlBytes))
+		// The notification request is tracked in the window and drained
+		// at WinWait, by which point every origin has acted on it — the
+		// drain observes completion without adding synchronisation.
+		req := r.Isend(o, pscwTag(win.id), Symbolic(r.w.cfg.CtrlBytes))
+		win.ctlSends[r.id] = append(win.ctlSends[r.id], req)
 	}
 	win.postOrigins[r.id] = append([]int(nil), origins...)
 }
@@ -331,12 +337,17 @@ func (r *Rank) WinComplete(win *Window) {
 	r.p.Sleep(r.w.cfg.CallOverhead)
 	targets := win.startTargets[r.id]
 	win.startTargets[r.id] = nil
+	notify := make([]*Request, 0, len(targets))
 	for _, t := range targets {
 		outs := win.perTarget[r.id][t]
 		delete(win.perTarget[r.id], t)
 		r.p.WaitAll(outs...)
-		r.Isend(t, pscwTag(win.id)+1, Symbolic(r.w.cfg.CtrlBytes))
+		notify = append(notify, r.Isend(t, pscwTag(win.id)+1, Symbolic(r.w.cfg.CtrlBytes)))
 	}
+	// Local completion of the epoch-close notifications before the call
+	// returns: the implementation cannot recycle its internal request
+	// slots (nor, here, drop the futures) while the sends are in flight.
+	r.Wait(notify...)
 	// Epoch closed: drop the completed puts from the all-target list.
 	win.outstanding[r.id] = win.outstanding[r.id][:0]
 }
@@ -355,4 +366,11 @@ func (r *Rank) WinWait(win *Window) {
 		reqs = append(reqs, r.Irecv(o, pscwTag(win.id)+1, r.w.cfg.CtrlBytes, nil))
 	}
 	r.Wait(reqs...)
+	// Drain the post-notification sends tracked by WinPost. Every origin
+	// of the epoch has already received them (their completion messages
+	// just arrived above), so this observes guaranteed-complete requests
+	// and costs no additional synchronisation.
+	ctl := win.ctlSends[r.id]
+	win.ctlSends[r.id] = nil
+	r.Wait(ctl...)
 }

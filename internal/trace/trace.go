@@ -8,6 +8,9 @@
 package trace
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,6 +53,32 @@ func (tr *Recorder) Record(rank int, phase string, cycle int, start, end sim.Tim
 		return
 	}
 	tr.Spans = append(tr.Spans, Span{Rank: rank, Phase: phase, Cycle: cycle, Start: start, End: end})
+}
+
+// Digest returns a SHA-256 hex digest over a canonical encoding of all
+// spans in recorded order. Two runs of the simulator are behaviourally
+// identical iff their digests match: the encoding covers every field
+// including record order, so any divergence in scheduling, protocol
+// timing or phase structure changes the digest. A nil recorder digests
+// to the empty-input hash.
+func (tr *Recorder) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	if tr != nil {
+		for _, s := range tr.Spans {
+			writeInt(int64(s.Rank))
+			h.Write([]byte(s.Phase))
+			h.Write([]byte{0})
+			writeInt(int64(s.Cycle))
+			writeInt(int64(s.Start))
+			writeInt(int64(s.End))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // PhaseTotal sums the duration of all spans with the given phase.
@@ -249,12 +278,19 @@ func (tr *Recorder) Timeline(width int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "timeline %v .. %v (%d cols, %v/col)\n", start, end, width, (end-start)/sim.Time(width))
 	for i, r := range ranks {
+		// Sorted phase order makes the tie-break (strict >) deterministic
+		// instead of following map iteration order.
+		phases := make([]string, 0, len(cover[i]))
+		for phase := range cover[i] {
+			phases = append(phases, phase)
+		}
+		sort.Strings(phases)
 		line := make([]byte, width)
 		for c := range line {
 			line[c] = '.'
 			var best sim.Time
-			for phase, cols := range cover[i] {
-				if cols[c] > best {
+			for _, phase := range phases {
+				if cols := cover[i][phase]; cols[c] > best {
 					best = cols[c]
 					g, ok := phaseGlyphs[phase]
 					if !ok {
