@@ -23,5 +23,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# `make bench` also persists the machine-readable perf trajectory for
+# this PR: the raw stream passes through cmd/benchjson into BENCHOUT.
+# BENCHTIME=1x (the default) runs every simulation once — enough for
+# the deterministic sim-ms/op numbers; raise it to steady wall-clock
+# measurements.
+BENCHTIME ?= 1x
+BENCHOUT ?= BENCH_PR2.json
+
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCHOUT)

@@ -1,0 +1,32 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into indented JSON on stdout, so the Makefile's bench target can
+// persist a machine-readable perf trajectory (BENCH_*.json) per PR:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH_PR2.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"collio/internal/benchfmt"
+)
+
+func main() {
+	run, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(run.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(run); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

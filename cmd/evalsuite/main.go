@@ -9,9 +9,12 @@
 //	fig4      — Fig. 4: transfer-primitive win counts (+ §IV-B np trend)
 //	breakdown — §IV-A: shuffle vs file-access time split, no-overlap code
 //	all       — everything above
+//	probe     — one instrumented Tile I/O 1M run (see -probe/-trace-json/-report)
 //
 // Use -full for the extended sweep (larger process counts; slow) and
-// -np to override Fig. 1 / breakdown process counts.
+// -np to override Fig. 1 / breakdown process counts. The observability
+// flags -probe, -trace-json and -report attach event probes to a
+// single instrumented run (implies the probe experiment).
 package main
 
 import (
@@ -23,18 +26,36 @@ import (
 
 	"collio/internal/exp"
 	"collio/internal/fcoll"
+	"collio/internal/platform"
+	"collio/internal/probe"
+	"collio/internal/probe/export"
 	"collio/internal/stats"
+	"collio/internal/workload/tileio"
 )
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|breakdown|all")
-		full    = flag.Bool("full", false, "run the extended sweep (slow)")
-		verbose = flag.Bool("v", false, "print per-series progress")
-		npFlag  = flag.String("np", "", "comma-separated process counts for fig1/breakdown (default 64,128; -full 256,576)")
-		runs    = flag.Int("runs", 3, "measurements per series")
+		which     = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|breakdown|probe|all")
+		full      = flag.Bool("full", false, "run the extended sweep (slow)")
+		verbose   = flag.Bool("v", false, "print per-series progress")
+		npFlag    = flag.String("np", "", "comma-separated process counts for fig1/breakdown (default 64,128; -full 256,576)")
+		runs      = flag.Int("runs", 3, "measurements per series")
+		probeF    = flag.Bool("probe", false, "print the probe counter registry of the instrumented run")
+		traceJSON = flag.String("trace-json", "", "write a Chrome/Perfetto trace of the instrumented run to `file`")
+		report    = flag.Bool("report", false, "print a Darshan-style I/O report of the instrumented run")
 	)
 	flag.Parse()
+
+	obs := *probeF || *traceJSON != "" || *report
+	if obs {
+		// Asking for observability output without naming an experiment
+		// means "just the instrumented run", not the whole suite.
+		expSet := false
+		flag.Visit(func(f *flag.Flag) { expSet = expSet || f.Name == "exp" })
+		if !expSet {
+			*which = "probe"
+		}
+	}
 
 	sweep := exp.QuickSweep()
 	fig1NP := []int{64, 128}
@@ -174,9 +195,60 @@ func main() {
 		fmt.Println()
 	}
 
-	if !ran {
-		fatalf("unknown experiment %q (want table1|fig1|fig2|fig3|fig4|breakdown|all)", *which)
+	if want("probe") || obs {
+		ran = true
+		if err := probeRun(fig1NP[0], *probeF, *traceJSON, *report); err != nil {
+			fatalf("probe run: %v", err)
+		}
 	}
+
+	if !ran {
+		fatalf("unknown experiment %q (want table1|fig1|fig2|fig3|fig4|breakdown|probe|all)", *which)
+	}
+}
+
+// probeRun executes one instrumented Tile I/O 1M collective write
+// (crill, write-comm-2-overlap, two-sided) and emits the requested
+// observability artefacts. With no output flag it prints the counter
+// registry so `-exp probe` alone is not silent.
+func probeRun(np int, counters bool, traceJSON string, report bool) error {
+	p := probe.New()
+	spec := exp.Spec{
+		Platform:  platform.Crill(),
+		NProcs:    np,
+		Gen:       tileio.Tile1M(),
+		Algorithm: fcoll.WriteComm2Overlap,
+		Primitive: fcoll.TwoSided,
+		Seed:      1,
+		Probe:     p,
+	}
+	if _, err := exp.Execute(spec); err != nil {
+		return err
+	}
+	if traceJSON != "" {
+		f, err := os.Create(traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := export.WriteTrace(f, p); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d probe events to %s (load in ui.perfetto.dev)\n", len(p.Events()), traceJSON)
+	}
+	if report {
+		title := fmt.Sprintf("tileio-1m write-comm-2-overlap/two-sided np=%d", np)
+		if err := export.WriteReport(os.Stdout, p, export.ReportOptions{Title: title}); err != nil {
+			return err
+		}
+	}
+	if counters || (traceJSON == "" && !report) {
+		fmt.Printf("probe counters (tileio-1m, np=%d):\n%s", np, p.Counters())
+	}
+	return nil
 }
 
 func progress(verbose bool) *os.File {

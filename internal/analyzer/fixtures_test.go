@@ -161,7 +161,8 @@ func TestRequestLeakFixtures(t *testing.T) {
 }
 
 func TestWallClockFixtures(t *testing.T) {
-	runFixtureTest(t, WallClock, "wallclock/internal/sim", "wallclock/tools")
+	runFixtureTest(t, WallClock, "wallclock/internal/sim", "wallclock/tools",
+		"wallclock/internal/probe", "wallclock/internal/probe/export")
 }
 
 func TestFencePairFixtures(t *testing.T) {

@@ -1,0 +1,19 @@
+// Fixtures for the wallclock analyzer's exemption list: the probe
+// exporters (…/internal/probe/export) run after sim.Kernel.Run has
+// returned and are carved out of the deterministic zone, so reading
+// the wall clock for a report header is allowed and no diagnostics
+// may be produced anywhere in this package.
+package export
+
+import "time"
+
+func reportHeader(ts string) string {
+	if ts == "" {
+		ts = time.Now().Format(time.RFC3339) // exempt: post-run exporter
+	}
+	return "# generated : " + ts
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return time.Since(t0) // exempt: post-run exporter
+}

@@ -1,0 +1,62 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: collio
+cpu: Intel(R) Xeon(R)
+BenchmarkTable1/crill/IOR/no-overlap-8         	       3	 123456789 ns/op	       345.2 sim-ms/op	  123456 B/op	     789 allocs/op
+BenchmarkFig1/ibex/np96/write-comm-2-overlap-8 	       1	1000000000 ns/op	        99.9 sim-ms/op
+some test log line that is not a benchmark
+PASS
+ok  	collio	12.345s
+`
+
+func TestParse(t *testing.T) {
+	run, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Env["goos"] != "linux" || run.Env["pkg"] != "collio" || run.Env["cpu"] != "Intel(R) Xeon(R)" {
+		t.Fatalf("env = %v", run.Env)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.Name != "BenchmarkTable1/crill/IOR/no-overlap" || r.Procs != 8 || r.Iterations != 3 {
+		t.Fatalf("result 0 = %+v", r)
+	}
+	if r.Metrics["sim-ms/op"] != 345.2 || r.Metrics["ns/op"] != 123456789 || r.Metrics["allocs/op"] != 789 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	if r2 := run.Results[1]; len(r2.Metrics) != 2 || r2.Metrics["sim-ms/op"] != 99.9 {
+		t.Fatalf("result 1 = %+v", r2)
+	}
+}
+
+func TestParseNoProcsSuffix(t *testing.T) {
+	run, err := Parse(strings.NewReader("BenchmarkFoo 	 10	 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := run.Results[0]; r.Name != "BenchmarkFoo" || r.Procs != 1 || r.Metrics["ns/op"] != 5 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkOdd 	 10	 5\n",          // dangling value without unit
+		"BenchmarkBadN 	 x	 5 ns/op\n",    // non-numeric iterations
+		"BenchmarkBadV 	 10	 y ns/op\n",   // non-numeric metric
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("no error for %q", bad)
+		}
+	}
+}

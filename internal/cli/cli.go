@@ -14,6 +14,8 @@ import (
 	"collio/internal/exp"
 	"collio/internal/fcoll"
 	"collio/internal/platform"
+	"collio/internal/probe"
+	"collio/internal/probe/export"
 	"collio/internal/stats"
 	"collio/internal/trace"
 	"collio/internal/workload"
@@ -31,6 +33,9 @@ type Common struct {
 	AllAlgos  bool
 	Read      bool
 	Trace     bool
+	Probe     bool
+	TraceJSON string
+	Report    bool
 }
 
 // RegisterFlags installs the common flags on the default FlagSet.
@@ -45,6 +50,9 @@ func (c *Common) RegisterFlags() {
 	flag.BoolVar(&c.AllAlgos, "all", false, "run every overlap algorithm and compare")
 	flag.BoolVar(&c.Read, "read", false, "run collective reads instead of writes")
 	flag.BoolVar(&c.Trace, "trace", false, "print a per-rank phase timeline of one run")
+	flag.BoolVar(&c.Probe, "probe", false, "attach event probes to one run and print the counter registry")
+	flag.StringVar(&c.TraceJSON, "trace-json", "", "write a Chrome/Perfetto trace of one run to `file`")
+	flag.BoolVar(&c.Report, "report", false, "print a Darshan-style I/O report (with stall attribution) of one run")
 }
 
 func algoList() string {
@@ -143,24 +151,55 @@ func (c *Common) RunBenchmark(gen workload.Generator) error {
 	}
 	fmt.Println(stats.RenderTable("", head, rows))
 
-	if c.Trace {
+	if c.Trace || c.Probe || c.TraceJSON != "" || c.Report {
 		// One instrumented run with the last algorithm in the table.
+		algo := algos[len(algos)-1]
 		tr := trace.New()
+		var p *probe.Probe
+		if c.Probe || c.TraceJSON != "" || c.Report {
+			p = probe.New()
+		}
 		spec := exp.Spec{
 			Platform:   pf,
 			NProcs:     c.NProcs,
 			Gen:        gen,
-			Algorithm:  algos[len(algos)-1],
+			Algorithm:  algo,
 			Primitive:  prim,
 			BufferSize: int64(c.BufferMB) << 20,
 			Read:       c.Read,
 			Seed:       c.Seed,
 			Trace:      tr,
+			Probe:      p,
 		}
 		if _, err := exp.Execute(spec); err != nil {
 			return err
 		}
-		fmt.Printf("phase timeline (%v):\n%s", algos[len(algos)-1], tr.Timeline(100))
+		if c.Trace {
+			fmt.Printf("phase timeline (%v):\n%s", algo, tr.Timeline(100))
+		}
+		if c.TraceJSON != "" {
+			f, err := os.Create(c.TraceJSON)
+			if err != nil {
+				return err
+			}
+			if err := export.WriteTrace(f, p); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d probe events to %s (load in ui.perfetto.dev)\n", len(p.Events()), c.TraceJSON)
+		}
+		if c.Report {
+			title := fmt.Sprintf("%s %s/%s np=%d seed=%d", gen.Name(), algo, prim, c.NProcs, c.Seed)
+			if err := export.WriteReport(os.Stdout, p, export.ReportOptions{Title: title}); err != nil {
+				return err
+			}
+		}
+		if c.Probe {
+			fmt.Printf("probe counters (%v, seed %d):\n%s", algo, c.Seed, p.Counters())
+		}
 	}
 	return nil
 }

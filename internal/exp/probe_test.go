@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"collio/internal/probe"
+	"collio/internal/probe/export"
+	"collio/internal/trace"
+)
+
+// TestProbeDigestInvariance is the observe-without-perturbing
+// regression: attaching a probe to every layer must not change a
+// single event of the simulation. Probe callbacks only append to
+// probe-internal state, so the trace digest — which covers every span
+// field including record order — must be bit-identical with and
+// without instrumentation.
+func TestProbeDigestInvariance(t *testing.T) {
+	const seed = 11
+	run := func(p *probe.Probe) string {
+		rec := trace.New()
+		spec := determinismSpec(seed, rec)
+		spec.Probe = p
+		if _, err := Execute(spec); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Spans) == 0 {
+			t.Fatal("no spans recorded; digest would be vacuous")
+		}
+		return rec.Digest()
+	}
+	plain := run(nil)
+	probed := run(probe.New())
+	if plain != probed {
+		t.Fatalf("probe instrumentation perturbed the simulation:\n  off: %s\n  on:  %s", plain, probed)
+	}
+}
+
+// probedRun executes the 16-rank determinism spec with a probe
+// attached and returns the probe.
+func probedRun(t *testing.T) *probe.Probe {
+	t.Helper()
+	p := probe.New()
+	spec := determinismSpec(3, nil)
+	spec.Probe = p
+	if _, err := Execute(spec); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestProbeCoversAllLayers checks that a 16-rank collective write
+// produces events from every simulator layer and populates the core
+// counters.
+func TestProbeCoversAllLayers(t *testing.T) {
+	p := probedRun(t)
+	counts := p.LayerCounts()
+	for _, l := range probe.Layers {
+		if counts[int(l)] == 0 {
+			t.Errorf("layer %v emitted no events", l)
+		}
+	}
+	ctr := p.Counters()
+	for _, name := range []string{
+		probe.CtrNetMsgs, probe.CtrFSWrites, probe.CtrFSWriteBytes,
+		probe.CtrCollWriteBytes, probe.CtrCollCycles,
+	} {
+		if ctr.Get(name) == 0 {
+			t.Errorf("counter %s is zero", name)
+		}
+	}
+}
+
+// TestPerfettoExportValid runs the 16-rank spec and checks the
+// Chrome/Perfetto trace JSON parses and contains events from all four
+// layers (pids 1..4).
+func TestPerfettoExportValid(t *testing.T) {
+	p := probedRun(t)
+	var buf bytes.Buffer
+	if err := export.WriteTrace(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Pid int     `json:"pid"`
+			Ts  float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	pids := map[int]int{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		pids[ev.Pid]++
+		if ev.Ts < 0 {
+			t.Fatalf("negative timestamp: %+v", ev)
+		}
+	}
+	for _, l := range probe.Layers {
+		if pids[int(l)+1] == 0 {
+			t.Errorf("no trace events for layer %v (pid %d)", l, int(l)+1)
+		}
+	}
+}
+
+// TestStallAttributionOnRun checks the attribution pass over a real
+// run: segments partition each rank's collective time, and the
+// write-overlap algorithm produces non-zero write and shuffle
+// segments on aggregators.
+func TestStallAttributionOnRun(t *testing.T) {
+	p := probedRun(t)
+	at := export.Attribute(p)
+	if len(at.Ranks) != 16 {
+		t.Fatalf("attribution covers %d ranks, want 16", len(at.Ranks))
+	}
+	for _, r := range at.Ranks {
+		s := r.Segments
+		if got := s.Write + s.Shuffle + s.Sync + s.Stall + s.Other; got != s.Total {
+			t.Fatalf("rank %d: segments do not partition total: %v != %v (%+v)", r.Rank, got, s.Total, s)
+		}
+	}
+	if at.Sum.Write == 0 || at.Sum.Shuffle == 0 {
+		t.Fatalf("expected non-zero write and shuffle segments: %+v", at.Sum)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"collio/internal/mpi"
 	"collio/internal/mpiio"
 	"collio/internal/platform"
+	"collio/internal/probe"
 	"collio/internal/sim"
 	"collio/internal/stats"
 	"collio/internal/trace"
@@ -33,6 +34,12 @@ type Spec struct {
 	Read bool
 	// Trace, when non-nil, records phase spans of the run.
 	Trace *trace.Recorder
+	// Probe, when non-nil, is attached to all four simulator layers
+	// (network, MPI, file system, collective engine) and receives
+	// structured events and counters. Probes observe without
+	// perturbing: trace digests are identical with and without one
+	// (enforced by TestProbeDigestInvariance).
+	Probe *probe.Probe
 }
 
 // Metrics is the outcome of one run.
@@ -74,12 +81,18 @@ func Execute(spec Spec) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
+	if spec.Probe != nil {
+		cl.Net.SetProbe(spec.Probe)
+		cl.World.SetProbe(spec.Probe)
+		cl.FS.SetProbe(spec.Probe)
+	}
 	file := mpiio.Open(cl.World, cl.FS.Open(spec.Gen.Name()))
 	file.SetCollectiveOptions(fcoll.Options{
 		Algorithm:  spec.Algorithm,
 		Primitive:  spec.Primitive,
 		BufferSize: bufSize,
 		Trace:      spec.Trace,
+		Probe:      spec.Probe,
 	})
 	type rankOut struct {
 		res fcoll.Result

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"collio/internal/mpi"
+	"collio/internal/probe"
 	"collio/internal/sim"
 	"collio/internal/trace"
 )
@@ -57,11 +58,52 @@ func Run(r *mpi.Rank, jv *JobView, file Writer, opts Options) (Result, error) {
 	}
 	// The collective completes on all ranks together (write_all is
 	// collective; vulcan's final synchronisation).
+	tSync := r.Now()
 	r.Barrier()
+	ex.syncSpan(-1, tSync)
 	ex.res.Elapsed = r.Now() - start
 	ex.res.Cycles = ex.p.ncycles
 	ex.res.Aggregator = ex.aggIdx >= 0
+	if p := opts.Probe; p != nil {
+		p.Emit(probe.Event{
+			At: start, Dur: ex.res.Elapsed, Layer: probe.LayerFcoll,
+			Kind: probe.KindCollOp, Cause: probe.CauseCollWrite,
+			Rank: r.ID(), Peer: -1, Cycle: ex.p.ncycles, Size: ex.res.BytesWritten,
+		})
+		ctr := p.Counters()
+		ctr.AddRank(r.ID(), probe.CtrCollShufBytes, ex.res.BytesSent)
+		ctr.AddRank(r.ID(), probe.CtrCollWriteBytes, ex.res.BytesWritten)
+		var user int64
+		for _, e := range jv.Ranks[r.ID()].Extents {
+			user += e.Len
+		}
+		ctr.AddRank(r.ID(), probe.CtrCollUserBytes, user)
+		if r.ID() == 0 {
+			ctr.Add(probe.CtrCollCycles, int64(ex.p.ncycles))
+		}
+	}
 	return ex.res, nil
+}
+
+// probePhase mirrors a phase interval into the probe event bus
+// (zero-length intervals are dropped, matching trace.Recorder).
+func (ex *exec) probePhase(cause probe.Cause, cycle int, start, end sim.Time) {
+	p := ex.opts.Probe
+	if p == nil || end <= start {
+		return
+	}
+	p.Emit(probe.Event{
+		At: start, Dur: end - start, Layer: probe.LayerFcoll,
+		Kind: probe.KindPhase, Cause: cause, Rank: ex.r.ID(), Peer: -1, Cycle: cycle,
+	})
+}
+
+// syncSpan records the interval since t0 as explicit synchronisation
+// (barrier/fence site) in both the trace recorder and the probe.
+func (ex *exec) syncSpan(cycle int, t0 sim.Time) {
+	now := ex.r.Now()
+	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseSync, cycle, t0, now)
+	ex.probePhase(probe.CauseSync, cycle, t0, now)
 }
 
 // setup charges the plan-establishment collectives (offset reduction and
@@ -159,6 +201,14 @@ func (sh *shuffle) future(k *sim.Kernel) *sim.Future {
 func (ex *exec) shuffleInit(c, slot int) *shuffle {
 	t0 := ex.r.Now()
 	sh := &shuffle{cycle: c, slot: slot, initAt: t0}
+	if p := ex.opts.Probe; p != nil {
+		// Cycle boundary: the per-cycle size exchange below is the
+		// de-facto global synchronisation that frames each cycle.
+		p.Emit(probe.Event{
+			At: t0, Layer: probe.LayerFcoll, Kind: probe.KindCycle,
+			Rank: ex.r.ID(), Peer: -1, Cycle: c, V: int64(slot),
+		})
+	}
 	// Per-cycle transfer-size exchange: ROMIO/vulcan run an
 	// MPI_Alltoall of send sizes at the start of every cycle. Besides
 	// its cost, it makes each cycle a de-facto global synchronisation
@@ -169,12 +219,16 @@ func (ex *exec) shuffleInit(c, slot int) *shuffle {
 	case TwoSided:
 		ex.twoSidedInit(sh)
 	case OneSidedFence:
+		tf := ex.r.Now()
 		ex.r.WinFence(ex.wins[slot]) // open the access epoch
+		ex.syncSpan(c, tf)
 		ex.putAll(sh)
 	case OneSidedLock:
 		// Barrier: no origin may write into the window before every
 		// aggregator has drained it (paper §III-B.2b).
+		tb := ex.r.Now()
 		ex.r.Barrier()
+		ex.syncSpan(c, tb)
 		ex.lockPutUnlockAll(sh)
 	case OneSidedPSCW:
 		// The exposure epoch is opened pairwise: aggregators post to
@@ -225,10 +279,12 @@ func (ex *exec) shuffleWait(sh *shuffle) {
 		ex.unpack(sh)
 	case OneSidedFence:
 		ex.r.WinFence(ex.wins[sh.slot]) // close epoch: all puts complete
+		ex.syncSpan(sh.cycle, t0)
 	case OneSidedLock:
 		// Unlocks already forced remote completion; the barrier tells
 		// aggregators every origin is done.
 		ex.r.Barrier()
+		ex.syncSpan(sh.cycle, t0)
 	case OneSidedPSCW:
 		// Only exposure owners wait, and only for their own origins.
 		if ex.aggIdx >= 0 {
@@ -237,6 +293,7 @@ func (ex *exec) shuffleWait(sh *shuffle) {
 	}
 	ex.res.ShuffleTime += ex.r.Now() - t0
 	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseShuffle, sh.cycle, sh.initAt, ex.r.Now())
+	ex.probePhase(probe.CauseShuffle, sh.cycle, sh.initAt, ex.r.Now())
 }
 
 // shuffleBlocking is the blocking shuffle used by the write-overlap
@@ -386,6 +443,7 @@ func (ex *exec) writeSync(c, slot int) {
 	ex.res.WriteTime += ex.r.Now() - t0
 	ex.res.BytesWritten += ext.Len
 	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseWrite, c, t0, ex.r.Now())
+	ex.probePhase(probe.CauseWrite, c, t0, ex.r.Now())
 }
 
 // writeInit starts an asynchronous flush of cycle c's window from slot
@@ -405,11 +463,21 @@ func (ex *exec) writeInit(c, slot int) *sim.Future {
 	}
 	ex.res.BytesWritten += ext.Len
 	fut := ex.file.WriteAsync(ex.r, ext.Off, ext.Len, data)
-	if ex.opts.Trace != nil {
+	if ex.opts.Trace != nil || ex.opts.Probe.Enabled() {
 		t0 := ex.r.Now()
 		rank, k := ex.r.ID(), ex.r.World().Kernel()
-		tr := ex.opts.Trace
-		fut.OnDone(func() { tr.Record(rank, trace.PhaseWrite, c, t0, k.Now()) })
+		tr, p := ex.opts.Trace, ex.opts.Probe
+		fut.OnDone(func() {
+			now := k.Now()
+			tr.Record(rank, trace.PhaseWrite, c, t0, now)
+			if p != nil && now > t0 {
+				p.Emit(probe.Event{
+					At: t0, Dur: now - t0, Layer: probe.LayerFcoll,
+					Kind: probe.KindPhase, Cause: probe.CauseWrite,
+					Rank: rank, Peer: -1, Cycle: c,
+				})
+			}
+		})
 	}
 	return fut
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"collio/internal/mpi"
+	"collio/internal/probe"
 	"collio/internal/sim"
 	"collio/internal/trace"
 )
@@ -176,8 +177,14 @@ type Options struct {
 	// successive collectives on one file do not cross-match.
 	TagBase int
 	// Trace, when non-nil, records per-rank phase spans (shuffle /
-	// write / read) for timeline rendering and overlap assertions.
+	// write / read / sync) for timeline rendering and overlap
+	// assertions.
 	Trace *trace.Recorder
+	// Probe, when non-nil, receives structured observability events
+	// (cycle boundaries, phase spans, whole-collective spans) and
+	// counters. The same probe should also be attached to the world,
+	// network and file system (exp.Execute wires all four).
+	Probe *probe.Probe
 }
 
 // DefaultOptions returns the paper's configuration: 32 MiB collective

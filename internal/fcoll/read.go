@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"collio/internal/mpi"
+	"collio/internal/probe"
 	"collio/internal/sim"
 	"collio/internal/trace"
 )
@@ -62,10 +63,19 @@ func RunRead(r *mpi.Rank, jv *JobView, file Reader, opts Options) (Result, error
 	default:
 		return Result{}, fmt.Errorf("fcoll: unknown algorithm %v", opts.Algorithm)
 	}
+	tSync := r.Now()
 	r.Barrier()
+	ex.syncSpan(-1, tSync)
 	ex.res.Elapsed = r.Now() - start
 	ex.res.Cycles = ex.p.ncycles
 	ex.res.Aggregator = ex.aggIdx >= 0
+	if p := opts.Probe; p != nil {
+		p.Emit(probe.Event{
+			At: start, Dur: ex.res.Elapsed, Layer: probe.LayerFcoll,
+			Kind: probe.KindCollOp, Cause: probe.CauseCollRead,
+			Rank: r.ID(), Peer: -1, Cycle: ex.p.ncycles, Size: ex.res.BytesWritten,
+		})
+	}
 	return ex.res, nil
 }
 
@@ -116,6 +126,24 @@ func (ex *readExec) chargeCopy(n int64) {
 	ex.r.WaitFutures(fut)
 }
 
+// probePhase / syncSpan mirror the write path's probe instrumentation.
+func (ex *readExec) probePhase(cause probe.Cause, cycle int, start, end sim.Time) {
+	p := ex.opts.Probe
+	if p == nil || end <= start {
+		return
+	}
+	p.Emit(probe.Event{
+		At: start, Dur: end - start, Layer: probe.LayerFcoll,
+		Kind: probe.KindPhase, Cause: cause, Rank: ex.r.ID(), Peer: -1, Cycle: cycle,
+	})
+}
+
+func (ex *readExec) syncSpan(cycle int, t0 sim.Time) {
+	now := ex.r.Now()
+	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseSync, cycle, t0, now)
+	ex.probePhase(probe.CauseSync, cycle, t0, now)
+}
+
 // readInit starts the asynchronous file read of cycle c's window into
 // slot (nil when this rank reads nothing this cycle).
 func (ex *readExec) readInit(c, slot int) *sim.Future {
@@ -132,11 +160,21 @@ func (ex *readExec) readInit(c, slot int) *sim.Future {
 	}
 	ex.res.BytesWritten += ext.Len // accounted as file traffic
 	fut := ex.file.ReadAsync(ex.r, ext.Off, ext.Len, buf)
-	if ex.opts.Trace != nil {
+	if ex.opts.Trace != nil || ex.opts.Probe.Enabled() {
 		t0 := ex.r.Now()
 		rank, k := ex.r.ID(), ex.r.World().Kernel()
-		tr := ex.opts.Trace
-		fut.OnDone(func() { tr.Record(rank, trace.PhaseRead, c, t0, k.Now()) })
+		tr, p := ex.opts.Trace, ex.opts.Probe
+		fut.OnDone(func() {
+			now := k.Now()
+			tr.Record(rank, trace.PhaseRead, c, t0, now)
+			if p != nil && now > t0 {
+				p.Emit(probe.Event{
+					At: t0, Dur: now - t0, Layer: probe.LayerFcoll,
+					Kind: probe.KindPhase, Cause: probe.CauseRead,
+					Rank: rank, Peer: -1, Cycle: c,
+				})
+			}
+		})
 	}
 	return fut
 }
@@ -169,6 +207,7 @@ func (ex *readExec) readSync(c, slot int) {
 	ex.res.WriteTime += ex.r.Now() - t0
 	ex.res.BytesWritten += ext.Len
 	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseRead, c, t0, ex.r.Now())
+	ex.probePhase(probe.CauseRead, c, t0, ex.r.Now())
 }
 
 // scatter is an in-flight scatter phase (the reverse shuffle).
@@ -192,6 +231,12 @@ func (ex *readExec) scatterInit(c, slot int) *scatter {
 	t0 := ex.r.Now()
 	sc := &scatter{cycle: c, slot: slot, initAt: t0}
 	r := ex.r
+	if p := ex.opts.Probe; p != nil {
+		p.Emit(probe.Event{
+			At: t0, Layer: probe.LayerFcoll, Kind: probe.KindCycle,
+			Rank: r.ID(), Peer: -1, Cycle: c, V: int64(slot),
+		})
+	}
 	tag := ex.opts.TagBase + c
 	ex.r.AlltoallSync(8) // per-cycle size exchange, as in the write path
 
@@ -270,6 +315,7 @@ func (ex *readExec) scatterWait(sc *scatter) {
 	}
 	ex.res.ShuffleTime += ex.r.Now() - t0
 	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseShuffle, sc.cycle, sc.initAt, ex.r.Now())
+	ex.probePhase(probe.CauseShuffle, sc.cycle, sc.initAt, ex.r.Now())
 }
 
 func (ex *readExec) scatterBlocking(c, slot int) {

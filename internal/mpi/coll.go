@@ -1,6 +1,10 @@
 package mpi
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"collio/internal/probe"
+)
 
 // Internal tag space for collective operations. User tags must stay
 // below tagInternalBase.
@@ -22,6 +26,7 @@ func (r *Rank) Barrier() {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindCollective, probe.CauseBarrier)()
 	p := r.w.cfg.NProcs
 	if p == 1 {
 		r.p.Sleep(r.w.cfg.CallOverhead)
@@ -45,6 +50,7 @@ func (r *Rank) Bcast(root int, pl Payload) Payload {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindCollective, probe.CauseBcast)()
 	p := r.w.cfg.NProcs
 	if p == 1 {
 		r.p.Sleep(r.w.cfg.CallOverhead)
@@ -116,6 +122,7 @@ func (r *Rank) AllreduceI64(vals []int64, op func(a, b int64) int64) []int64 {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindCollective, probe.CauseAllreduce)()
 	p := r.w.cfg.NProcs
 	acc := append([]int64(nil), vals...)
 	if p > 1 {
@@ -165,6 +172,7 @@ func (r *Rank) AlltoallI64(vals []int64) []int64 {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindCollective, probe.CauseAlltoall)()
 	p := r.w.cfg.NProcs
 	if len(vals) != p {
 		panic("mpi: AlltoallI64 needs one value per rank")
@@ -225,6 +233,7 @@ func (r *Rank) AlltoallSync(entryBytes int64) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindCollective, probe.CauseAlltoall)()
 	p := r.w.cfg.NProcs
 	if p == 1 {
 		r.p.Sleep(r.w.cfg.CallOverhead)
@@ -255,6 +264,7 @@ func (r *Rank) Allgatherv(mine Payload, sizes []int64) [][]byte {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindCollective, probe.CauseAllgatherv)()
 	p := r.w.cfg.NProcs
 	if int(mine.Size) != int(sizes[r.id]) {
 		panic("mpi: Allgatherv size mismatch with sizes vector")

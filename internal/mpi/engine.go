@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"collio/internal/probe"
 	"collio/internal/sim"
 )
 
@@ -67,6 +68,11 @@ type engine struct {
 	// Peak queue lengths, for diagnostics and tests.
 	maxUnexpected int
 	maxPosted     int
+
+	// stallSince is the arrival time of the oldest packet in pending —
+	// the start of the current handshake-stall interval (§III-A.1).
+	// Only meaningful while len(pending) > 0.
+	stallSince sim.Time
 }
 
 func newEngine(r *Rank) *engine { return &engine{r: r} }
@@ -96,15 +102,46 @@ func (e *engine) arrive(pkt packet) {
 		e.handle(pkt)
 		return
 	}
+	if len(e.pending) == 0 {
+		e.stallSince = e.r.w.k.Now()
+	}
 	e.pending = append(e.pending, pkt)
 }
 
 func (e *engine) drain() {
+	if p := e.r.w.probe; p != nil && len(e.pending) > 0 {
+		// Protocol packets sat queued while this rank was outside MPI —
+		// the handshake stall the paper's overlap algorithms fight. The
+		// span runs from the first queued arrival to this drain.
+		now := e.r.w.k.Now()
+		stall := now - e.stallSince
+		p.Emit(probe.Event{
+			At: e.stallSince, Dur: stall, Layer: probe.LayerMPI,
+			Kind: probe.KindStall, Cause: probe.CauseNoProgress,
+			Rank: e.r.id, Peer: -1, Cycle: -1, V: int64(len(e.pending)),
+		})
+		ctr := p.Counters()
+		ctr.AddRank(e.r.id, probe.CtrMPIStallNS, int64(stall))
+		ctr.Add(probe.CtrMPIStalls, 1)
+	}
 	for len(e.pending) > 0 {
 		pkt := e.pending[0]
 		e.pending = e.pending[1:]
 		e.handle(pkt)
 	}
+}
+
+// emitProto records one protocol transition at the current virtual time
+// (no-op without a probe).
+func (e *engine) emitProto(cause probe.Cause, peer int, size int64) {
+	p := e.r.w.probe
+	if p == nil {
+		return
+	}
+	p.Emit(probe.Event{
+		At: e.r.w.k.Now(), Layer: probe.LayerMPI, Kind: probe.KindProto,
+		Cause: cause, Rank: e.r.id, Peer: peer, Cycle: -1, Size: size,
+	})
 }
 
 // matchPosted removes and returns the first posted receive matching
@@ -124,11 +161,20 @@ func (e *engine) handle(pkt packet) {
 	k := e.r.w.k
 	switch p := pkt.(type) {
 	case *eagerPkt:
+		e.emitProto(probe.CauseEagerArrive, p.src, p.pl.Size)
 		req, scanned := e.matchPosted(p.src, p.tag)
 		if req == nil {
 			e.unexpected = append(e.unexpected, p)
 			if len(e.unexpected) > e.maxUnexpected {
 				e.maxUnexpected = len(e.unexpected)
+			}
+			if pr := e.r.w.probe; pr != nil {
+				pr.Emit(probe.Event{
+					At: k.Now(), Layer: probe.LayerMPI, Kind: probe.KindUnexpected,
+					Cause: probe.CauseEager, Rank: e.r.id, Peer: p.src, Cycle: -1,
+					Size: p.pl.Size, V: int64(len(e.unexpected)),
+				})
+				pr.Counters().SetMax(probe.CtrMPIUnexpPeak, int64(len(e.unexpected)))
 			}
 			return
 		}
@@ -137,6 +183,7 @@ func (e *engine) handle(pkt packet) {
 		delay := cfg.HandlerCost + sim.Time(scanned)*cfg.MatchCost
 		e.finishRecv(req, p.pl, delay)
 	case *rtsPkt:
+		e.emitProto(probe.CauseRTS, p.src, p.size)
 		req, scanned := e.matchPosted(p.src, p.tag)
 		if req == nil {
 			e.pendingRTS = append(e.pendingRTS, p)
@@ -146,14 +193,17 @@ func (e *engine) handle(pkt packet) {
 		k.After(delay, func() { e.sendCTS(p, req) })
 	case *ctsPkt:
 		// Sender side: start the bulk data transfer.
+		e.emitProto(probe.CauseCTS, p.rreq.rank.id, p.sreq.pl.Size)
 		k.After(cfg.HandlerCost, func() { e.startRdvData(p.sreq, p.rreq) })
 	case *rdvChunkPkt:
 		// One pipeline chunk landed; request the next (costs a handler
 		// tick of receiver-side progress).
+		e.emitProto(probe.CauseChunk, p.st.sreq.rank.id, p.st.delivered)
 		k.After(cfg.HandlerCost, func() { e.r.w.sendRdvChunk(p.st) })
 	case *rdvDonePkt:
 		// Data is already in the user buffer (RDMA); completion
 		// detection costs one handler tick.
+		e.emitProto(probe.CauseRdvDone, p.rreq.peer, p.pl.Size)
 		e.finishRecv(p.rreq, p.pl, cfg.HandlerCost)
 	default:
 		panic("mpi: unknown packet type")

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"collio/internal/probe"
 	"collio/internal/sim"
 )
 
@@ -55,6 +56,18 @@ func (r *Rank) Isend(dst, tag int, pl Payload) *Request {
 	}
 	req := &Request{fut: r.w.k.NewFuture(), rank: r, peer: dst, tag: tag, pl: pl}
 	dstRank := r.w.ranks[dst]
+	if p := r.w.probe; p != nil {
+		path, msgCtr, byteCtr := probe.CauseEager, probe.CtrMPIEagerMsgs, probe.CtrMPIEagerBytes
+		if pl.Size >= cfg.EagerLimit {
+			path, msgCtr, byteCtr = probe.CauseRendezvous, probe.CtrMPIRdvMsgs, probe.CtrMPIRdvBytes
+		}
+		p.Emit(probe.Event{
+			At: r.Now(), Layer: probe.LayerMPI, Kind: probe.KindIsend,
+			Cause: path, Rank: r.id, Peer: dst, Cycle: -1, Size: pl.Size, V: int64(tag),
+		})
+		p.Counters().Add(msgCtr, 1)
+		p.Counters().AddRank(r.id, byteCtr, pl.Size)
+	}
 	if pl.Size < cfg.EagerLimit {
 		tr := r.w.net.Send(r.node, dstRank.node, pl.Size+cfg.CtrlBytes)
 		tr.Injected.OnDone(req.fut.Complete)
@@ -85,6 +98,12 @@ func (r *Rank) Irecv(src, tag int, size int64, buf []byte) *Request {
 	defer e.exit()
 	cfg := &r.w.cfg
 	req := &Request{fut: r.w.k.NewFuture(), rank: r, recv: true, peer: src, tag: tag, size: size, buf: buf}
+	if p := r.w.probe; p != nil {
+		p.Emit(probe.Event{
+			At: r.Now(), Layer: probe.LayerMPI, Kind: probe.KindIrecv,
+			Rank: r.id, Peer: src, Cycle: -1, Size: size, V: int64(tag),
+		})
+	}
 	cost := cfg.CallOverhead + e.postRecv(req)
 	r.p.Sleep(cost)
 	return req
@@ -97,11 +116,30 @@ func (r *Rank) Wait(reqs ...*Request) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.waitSpan()()
 	for _, q := range reqs {
 		if q == nil {
 			continue
 		}
 		r.p.Wait(q.fut)
+	}
+}
+
+// waitSpan opens a KindWait probe span; the closer drops zero-length
+// waits (already-complete requests) to keep the event stream small.
+func (r *Rank) waitSpan() func() {
+	p := r.w.probe
+	if p == nil {
+		return probeNop
+	}
+	t0 := r.Now()
+	return func() {
+		if d := r.Now() - t0; d > 0 {
+			p.Emit(probe.Event{
+				At: t0, Dur: d, Layer: probe.LayerMPI, Kind: probe.KindWait,
+				Rank: r.id, Peer: -1, Cycle: -1,
+			})
+		}
 	}
 }
 
@@ -113,6 +151,7 @@ func (r *Rank) WaitFutures(fs ...*sim.Future) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.waitSpan()()
 	r.p.WaitAll(fs...)
 }
 

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"collio/internal/probe"
 	"collio/internal/sim"
 )
 
@@ -110,6 +111,7 @@ func (r *Rank) Put(win *Window, target int, offset int64, pl Payload) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	r.w.probe.Counters().AddRank(r.id, probe.CtrMPIPutBytes, pl.Size)
 	r.p.Sleep(r.w.cfg.PutOverhead)
 	tgt := r.w.ranks[target]
 	// All puts of one origin on one window form one flow: per-QP
@@ -151,6 +153,17 @@ func (r *Rank) WinFence(win *Window) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	if p := r.w.probe; p != nil {
+		t0 := r.Now()
+		defer func() {
+			d := r.Now() - t0
+			p.Emit(probe.Event{
+				At: t0, Dur: d, Layer: probe.LayerMPI, Kind: probe.KindRMA,
+				Cause: probe.CauseFence, Rank: r.id, Peer: -1, Cycle: -1,
+			})
+			p.Counters().AddRank(r.id, probe.CtrMPIFenceNS, int64(d))
+		}()
+	}
 	// Window-wide completion accounting (reduce-scatter of RMA counts,
 	// remote flushes) before the synchronisation itself.
 	r.p.Sleep(r.w.cfg.CallOverhead + r.w.cfg.FenceCost)
@@ -179,6 +192,7 @@ func (r *Rank) WinLock(win *Window, typ LockType, target int) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindRMA, probe.CauseLock)()
 	r.p.Sleep(r.w.cfg.CallOverhead)
 	w := r.w
 	tgt := w.ranks[target]
@@ -224,6 +238,7 @@ func (r *Rank) WinUnlock(win *Window, target int) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindRMA, probe.CauseUnlock)()
 	r.p.Sleep(r.w.cfg.CallOverhead)
 	delete(win.heldLocks[r.id], target)
 	w := r.w
@@ -302,6 +317,7 @@ func (r *Rank) WinPost(win *Window, origins []int) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindRMA, probe.CausePost)()
 	r.p.Sleep(r.w.cfg.CallOverhead)
 	for _, o := range origins {
 		// The notification request is tracked in the window and drained
@@ -319,6 +335,7 @@ func (r *Rank) WinStart(win *Window, targets []int) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindRMA, probe.CauseStart)()
 	r.p.Sleep(r.w.cfg.CallOverhead)
 	reqs := make([]*Request, 0, len(targets))
 	for _, t := range targets {
@@ -334,6 +351,7 @@ func (r *Rank) WinComplete(win *Window) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindRMA, probe.CauseComplete)()
 	r.p.Sleep(r.w.cfg.CallOverhead)
 	targets := win.startTargets[r.id]
 	win.startTargets[r.id] = nil
@@ -358,6 +376,7 @@ func (r *Rank) WinWait(win *Window) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
+	defer r.span(probe.KindRMA, probe.CauseWaitEpoch)()
 	r.p.Sleep(r.w.cfg.CallOverhead)
 	origins := win.postOrigins[r.id]
 	win.postOrigins[r.id] = nil

@@ -19,6 +19,7 @@ package mpi
 import (
 	"fmt"
 
+	"collio/internal/probe"
 	"collio/internal/sim"
 	"collio/internal/simnet"
 )
@@ -125,6 +126,7 @@ type World struct {
 	finished int
 	finishAt sim.Time
 	started  bool
+	probe    *probe.Probe
 }
 
 // NewWorld creates the rank set. Ranks do not run until Launch.
@@ -147,6 +149,13 @@ func NewWorld(k *sim.Kernel, net *simnet.Network, cfg Config) (*World, error) {
 
 // Kernel returns the simulation kernel.
 func (w *World) Kernel() *sim.Kernel { return w.k }
+
+// SetProbe attaches an observability probe (nil detaches). Probing only
+// observes protocol state; it must never change rank timing.
+func (w *World) SetProbe(p *probe.Probe) { w.probe = p }
+
+// Probe returns the attached probe (possibly nil).
+func (w *World) Probe() *probe.Probe { return w.probe }
 
 // Network returns the interconnect.
 func (w *World) Network() *simnet.Network { return w.net }
@@ -237,3 +246,23 @@ func (r *Rank) ExitMPI()  { r.eng.exit() }
 
 // InMPI reports whether the rank is currently inside the MPI library.
 func (r *Rank) InMPI() bool { return r.eng.inMPI > 0 }
+
+var probeNop = func() {}
+
+// span opens a probe span of the given kind/cause on this rank and
+// returns the closer; call sites use `defer r.span(kind, cause)()`.
+// With no probe attached this is a shared no-op closure — no per-call
+// allocation beyond the defer itself.
+func (r *Rank) span(kind probe.Kind, cause probe.Cause) func() {
+	p := r.w.probe
+	if p == nil {
+		return probeNop
+	}
+	t0 := r.Now()
+	return func() {
+		p.Emit(probe.Event{
+			At: t0, Dur: r.Now() - t0, Layer: probe.LayerMPI,
+			Kind: kind, Cause: cause, Rank: r.id, Peer: -1, Cycle: -1,
+		})
+	}
+}

@@ -1,0 +1,219 @@
+// Package export turns probe event streams into human- and
+// tool-consumable artefacts: Chrome/Perfetto trace JSON, a
+// Darshan-style per-run I/O report, and a stall-attribution pass that
+// decomposes each rank's time inside collective operations into
+// write / shuffle / sync / handshake-stall / other segments.
+//
+// This package is the presentation boundary of the observability
+// stack: it runs after sim.Kernel.Run has finished and is therefore
+// exempt from the deterministic-zone rules collvet enforces on the
+// simulator proper (it may read the wall clock for report headers).
+package export
+
+import (
+	"sort"
+
+	"collio/internal/probe"
+	"collio/internal/sim"
+)
+
+// Segments is the critical-path decomposition of one rank's time
+// inside collective operations. Categories are disjoint: when phases
+// overlap on a rank (an aggregator waiting on an async write while
+// its next shuffle drains), time is attributed to the highest-priority
+// category, write > shuffle > sync > stall > other. StallInWrite is
+// kept separately because it is *not* disjoint — it is the portion of
+// MPI progress stall that fell inside a write phase, the §III-A.1
+// pathology (no progress on rendezvous transfers while the aggregator
+// blocks in a POSIX write).
+type Segments struct {
+	Total   sim.Time
+	Write   sim.Time
+	Shuffle sim.Time
+	Sync    sim.Time
+	Stall   sim.Time
+	Other   sim.Time
+	// StallInWrite is stall ∩ write: progress-engine stall time that
+	// overlapped a file-access phase on the same rank.
+	StallInWrite sim.Time
+}
+
+// RankAttribution is the decomposition for one rank.
+type RankAttribution struct {
+	Rank int
+	Segments
+}
+
+// Attribution is the whole-run stall-attribution result.
+type Attribution struct {
+	// Ranks holds per-rank decompositions, sorted by rank, one entry
+	// per rank that executed at least one collective operation.
+	Ranks []RankAttribution
+	// Sum aggregates the per-rank segments.
+	Sum Segments
+}
+
+// ival is a half-open [lo, hi) virtual-time interval.
+type ival struct{ lo, hi sim.Time }
+
+// normalize sorts intervals and merges overlapping/touching ones.
+func normalize(ivs []ival) []ival {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var out []ival
+	for _, iv := range ivs {
+		if iv.hi <= iv.lo {
+			continue
+		}
+		if n := len(out); n > 0 && iv.lo <= out[n-1].hi {
+			if iv.hi > out[n-1].hi {
+				out[n-1].hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// intersect returns a ∩ b for normalized inputs.
+func intersect(a, b []ival) []ival {
+	var out []ival
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo, hi := a[i].lo, a[i].hi
+		if b[j].lo > lo {
+			lo = b[j].lo
+		}
+		if b[j].hi < hi {
+			hi = b[j].hi
+		}
+		if hi > lo {
+			out = append(out, ival{lo, hi})
+		}
+		if a[i].hi < b[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// subtract returns a \ b for normalized inputs.
+func subtract(a, b []ival) []ival {
+	var out []ival
+	j := 0
+	for _, iv := range a {
+		lo := iv.lo
+		for j < len(b) && b[j].hi <= lo {
+			j++
+		}
+		k := j
+		for k < len(b) && b[k].lo < iv.hi {
+			if b[k].lo > lo {
+				out = append(out, ival{lo, b[k].lo})
+			}
+			if b[k].hi > lo {
+				lo = b[k].hi
+			}
+			k++
+		}
+		if lo < iv.hi {
+			out = append(out, ival{lo, iv.hi})
+		}
+	}
+	return out
+}
+
+func measure(ivs []ival) sim.Time {
+	var t sim.Time
+	for _, iv := range ivs {
+		t += iv.hi - iv.lo
+	}
+	return t
+}
+
+// Attribute runs the stall-attribution pass over a probe's event
+// stream. Only time inside KindCollOp spans (the collective write/read
+// envelope per rank) is attributed; phase and stall spans are clipped
+// to that envelope first. A nil or event-less probe yields an empty
+// Attribution.
+func Attribute(p *probe.Probe) Attribution {
+	type rankIvs struct {
+		window, write, shuffle, sync, stall []ival
+	}
+	byRank := map[int]*rankIvs{}
+	get := func(rank int) *rankIvs {
+		ri := byRank[rank]
+		if ri == nil {
+			ri = &rankIvs{}
+			byRank[rank] = ri
+		}
+		return ri
+	}
+	for _, ev := range p.Events() {
+		if ev.Dur <= 0 {
+			continue
+		}
+		iv := ival{ev.At, ev.End()}
+		switch {
+		case ev.Layer == probe.LayerFcoll && ev.Kind == probe.KindCollOp:
+			get(ev.Rank).window = append(get(ev.Rank).window, iv)
+		case ev.Layer == probe.LayerFcoll && ev.Kind == probe.KindPhase:
+			ri := get(ev.Rank)
+			switch ev.Cause {
+			case probe.CauseWrite, probe.CauseRead:
+				ri.write = append(ri.write, iv)
+			case probe.CauseShuffle:
+				ri.shuffle = append(ri.shuffle, iv)
+			case probe.CauseSync:
+				ri.sync = append(ri.sync, iv)
+			}
+		case ev.Layer == probe.LayerMPI && ev.Kind == probe.KindStall:
+			get(ev.Rank).stall = append(get(ev.Rank).stall, iv)
+		}
+	}
+
+	var out Attribution
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		ri := byRank[r]
+		win := normalize(ri.window)
+		if len(win) == 0 {
+			continue
+		}
+		write := intersect(normalize(ri.write), win)
+		shuffle := intersect(normalize(ri.shuffle), win)
+		syncIv := intersect(normalize(ri.sync), win)
+		stall := intersect(normalize(ri.stall), win)
+
+		var s Segments
+		s.Total = measure(win)
+		s.Write = measure(write)
+		rest := subtract(win, write)
+		shuf := intersect(shuffle, rest)
+		s.Shuffle = measure(shuf)
+		rest = subtract(rest, shuf)
+		syn := intersect(syncIv, rest)
+		s.Sync = measure(syn)
+		rest = subtract(rest, syn)
+		st := intersect(stall, rest)
+		s.Stall = measure(st)
+		s.Other = measure(subtract(rest, st))
+		s.StallInWrite = measure(intersect(stall, write))
+
+		out.Ranks = append(out.Ranks, RankAttribution{Rank: r, Segments: s})
+		out.Sum.Total += s.Total
+		out.Sum.Write += s.Write
+		out.Sum.Shuffle += s.Shuffle
+		out.Sum.Sync += s.Sync
+		out.Sum.Stall += s.Stall
+		out.Sum.Other += s.Other
+		out.Sum.StallInWrite += s.StallInWrite
+	}
+	return out
+}

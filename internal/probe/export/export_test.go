@@ -1,0 +1,158 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"collio/internal/probe"
+	"collio/internal/sim"
+)
+
+func span(layer probe.Layer, kind probe.Kind, cause probe.Cause, rank int, at, dur sim.Time) probe.Event {
+	return probe.Event{At: at, Dur: dur, Layer: layer, Kind: kind, Cause: cause, Rank: rank, Peer: -1, Cycle: -1}
+}
+
+// syntheticProbe builds a probe with one rank's collective: window
+// [0,100), write [10,40), shuffle [30,60), sync [60,70), MPI stall
+// [20,50).
+func syntheticProbe() *probe.Probe {
+	p := probe.New()
+	p.Emit(span(probe.LayerFcoll, probe.KindCollOp, probe.CauseCollWrite, 0, 0, 100))
+	p.Emit(span(probe.LayerFcoll, probe.KindPhase, probe.CauseWrite, 0, 10, 30))
+	p.Emit(span(probe.LayerFcoll, probe.KindPhase, probe.CauseShuffle, 0, 30, 30))
+	p.Emit(span(probe.LayerFcoll, probe.KindPhase, probe.CauseSync, 0, 60, 10))
+	p.Emit(span(probe.LayerMPI, probe.KindStall, probe.CauseNoProgress, 0, 20, 30))
+	return p
+}
+
+func TestAttributePriority(t *testing.T) {
+	at := Attribute(syntheticProbe())
+	if len(at.Ranks) != 1 {
+		t.Fatalf("ranks = %d, want 1", len(at.Ranks))
+	}
+	s := at.Ranks[0].Segments
+	want := Segments{Total: 100, Write: 30, Shuffle: 20, Sync: 10, Stall: 0, Other: 40, StallInWrite: 20}
+	if s != want {
+		t.Fatalf("segments = %+v, want %+v", s, want)
+	}
+	if got := s.Write + s.Shuffle + s.Sync + s.Stall + s.Other; got != s.Total {
+		t.Fatalf("segments do not partition total: %v != %v", got, s.Total)
+	}
+}
+
+func TestAttributeClipsToWindow(t *testing.T) {
+	p := probe.New()
+	p.Emit(span(probe.LayerFcoll, probe.KindCollOp, probe.CauseCollWrite, 3, 50, 50))
+	// Write span starting before the collective window: only the
+	// intersecting part counts.
+	p.Emit(span(probe.LayerFcoll, probe.KindPhase, probe.CauseWrite, 3, 40, 30))
+	// Stall entirely outside the window is ignored.
+	p.Emit(span(probe.LayerMPI, probe.KindStall, probe.CauseNoProgress, 3, 0, 40))
+	at := Attribute(p)
+	if len(at.Ranks) != 1 || at.Ranks[0].Rank != 3 {
+		t.Fatalf("unexpected ranks: %+v", at.Ranks)
+	}
+	s := at.Ranks[0].Segments
+	if s.Write != 20 || s.Stall != 0 || s.Total != 50 || s.Other != 30 {
+		t.Fatalf("segments = %+v", s)
+	}
+}
+
+func TestAttributeEmpty(t *testing.T) {
+	if at := Attribute(nil); len(at.Ranks) != 0 || at.Sum != (Segments{}) {
+		t.Fatalf("nil probe attribution not empty: %+v", at)
+	}
+	if at := Attribute(probe.New()); len(at.Ranks) != 0 {
+		t.Fatalf("empty probe attribution not empty: %+v", at)
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := normalize([]ival{{5, 10}, {0, 5}, {20, 30}, {25, 28}, {7, 7}})
+	if len(a) != 2 || a[0] != (ival{0, 10}) || a[1] != (ival{20, 30}) {
+		t.Fatalf("normalize = %+v", a)
+	}
+	b := []ival{{8, 22}}
+	if got := intersect(a, b); len(got) != 2 || got[0] != (ival{8, 10}) || got[1] != (ival{20, 22}) {
+		t.Fatalf("intersect = %+v", got)
+	}
+	if got := subtract(a, b); len(got) != 2 || got[0] != (ival{0, 8}) || got[1] != (ival{22, 30}) {
+		t.Fatalf("subtract = %+v", got)
+	}
+	if got := subtract(a, nil); measure(got) != measure(a) {
+		t.Fatalf("subtract nothing changed measure: %+v", got)
+	}
+}
+
+func TestWriteTraceJSON(t *testing.T) {
+	p := syntheticProbe()
+	p.Emit(probe.Event{Layer: probe.LayerNet, Kind: probe.KindNetSend, Cause: probe.CauseInter,
+		Rank: 0, Peer: 1, Cycle: -1, Size: 4096, At: 5})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var spans, instants, meta int
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if ev["dur"] == nil {
+				t.Fatalf("X event without dur: %v", ev)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 5 || instants != 1 {
+		t.Fatalf("spans=%d instants=%d, want 5/1", spans, instants)
+	}
+	// Three layers emitted events → three process_name records.
+	if meta != 3 {
+		t.Fatalf("metadata events = %d, want 3", meta)
+	}
+}
+
+func TestWriteReportDeterministic(t *testing.T) {
+	p := syntheticProbe()
+	p.Counters().AddRank(0, probe.CtrFSWriteBytes, 1<<20)
+	p.Counters().Add(probe.CtrFSWrites, 4)
+	p.Counters().Add(probe.OSTCounter(0, "bytes"), 1<<19)
+	p.Counters().Add(probe.OSTCounter(0, "ops"), 2)
+	opts := ReportOptions{Title: "test-run", Timestamp: "2026-01-01T00:00:00Z"}
+	var a, b bytes.Buffer
+	if err := WriteReport(&a, p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(&b, p, opts); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("report output not deterministic")
+	}
+	for _, want := range []string{"fs.write.bytes", "per-target access", "stall attribution", "stall-in-write"} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestWriteReportNilProbe(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, nil, ReportOptions{Timestamp: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "characterization report") {
+		t.Fatalf("missing header:\n%s", buf.String())
+	}
+}

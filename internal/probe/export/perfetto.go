@@ -1,0 +1,105 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"collio/internal/probe"
+	"collio/internal/sim"
+)
+
+// traceEvent is one entry in the Chrome trace_event JSON format
+// (the "Trace Event Format" consumed by Perfetto and chrome://tracing).
+// Timestamps and durations are in microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON Object Format wrapper.
+type traceFile struct {
+	TraceEvents []traceEvent   `json:"traceEvents"`
+	DisplayUnit string         `json:"displayTimeUnit"`
+	Meta        map[string]any `json:"otherData,omitempty"`
+}
+
+// layerProcess maps a probe layer to its Perfetto process id and
+// display name. Pids start at 1 because pid 0 renders oddly in some
+// viewers.
+func layerProcess(l probe.Layer) (int, string) {
+	return int(l) + 1, l.String()
+}
+
+func usec(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// WriteTrace serialises the probe's event stream as Chrome trace_event
+// JSON. Each simulator layer becomes one Perfetto "process"
+// (net/mpi/fs/fcoll) and each rank — node for the net and fs layers —
+// one thread within it, so the four layers stack as aligned swimlane
+// groups on the shared virtual-time axis. Spans (Dur > 0) become
+// complete ("X") events, instants become thread-scoped instant ("i")
+// events. Output is deterministic for a deterministic event stream.
+func WriteTrace(w io.Writer, p *probe.Probe) error {
+	events := p.Events()
+	out := traceFile{DisplayUnit: "ms", TraceEvents: make([]traceEvent, 0, len(events)+2*len(probe.Layers))}
+
+	// Name the per-layer processes; only layers that emitted events
+	// appear so an MPI-only capture does not render empty lanes.
+	var counts = p.LayerCounts()
+	for _, l := range probe.Layers {
+		if counts[int(l)] == 0 {
+			continue
+		}
+		pid, name := layerProcess(l)
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": fmt.Sprintf("%d.%s", pid, name)},
+		})
+	}
+
+	for _, ev := range events {
+		pid, _ := layerProcess(ev.Layer)
+		te := traceEvent{
+			Name: ev.Name(),
+			Cat:  ev.Layer.String(),
+			Ts:   usec(ev.At),
+			Pid:  pid,
+			Tid:  ev.Rank,
+		}
+		args := map[string]any{}
+		if ev.Peer >= 0 {
+			args["peer"] = ev.Peer
+		}
+		if ev.Cycle >= 0 {
+			args["cycle"] = ev.Cycle
+		}
+		if ev.Size != 0 {
+			args["size"] = ev.Size
+		}
+		if ev.V != 0 {
+			args["v"] = ev.V
+		}
+		if len(args) > 0 {
+			te.Args = args
+		}
+		if ev.Dur > 0 {
+			te.Ph = "X"
+			te.Dur = usec(ev.Dur)
+		} else {
+			te.Ph = "i"
+			te.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

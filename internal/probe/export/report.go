@@ -1,0 +1,110 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"collio/internal/probe"
+	"collio/internal/sim"
+)
+
+// ReportOptions configure WriteReport.
+type ReportOptions struct {
+	// Title names the run (benchmark + configuration) in the header.
+	Title string
+	// Timestamp overrides the "generated" header line; when empty the
+	// wall clock is read. Tests set it for byte-identical output — the
+	// simulation itself never reaches the wall clock, only this
+	// post-run exporter does.
+	Timestamp string
+}
+
+// WriteReport writes a Darshan-style per-run I/O characterisation
+// report: run totals, per-layer event volume, the counter registry,
+// the per-OST access distribution, and the stall-attribution
+// decomposition of aggregator critical paths.
+func WriteReport(w io.Writer, p *probe.Probe, opts ReportOptions) error {
+	ts := opts.Timestamp
+	if ts == "" {
+		ts = time.Now().Format(time.RFC3339)
+	}
+	title := opts.Title
+	if title == "" {
+		title = "collective I/O run"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# collio I/O characterization report\n")
+	fmt.Fprintf(&b, "# run       : %s\n", title)
+	fmt.Fprintf(&b, "# generated : %s\n", ts)
+
+	ctr := p.Counters()
+	events := p.Events()
+
+	// -- run totals ----------------------------------------------------
+	fmt.Fprintf(&b, "\n## totals\n")
+	fmt.Fprintf(&b, "%-28s %d\n", "fs.writes", ctr.Get(probe.CtrFSWrites))
+	fmt.Fprintf(&b, "%-28s %d\n", "fs.write.bytes", ctr.Get(probe.CtrFSWriteBytes))
+	fmt.Fprintf(&b, "%-28s %d\n", "fs.reads", ctr.Get(probe.CtrFSReads))
+	fmt.Fprintf(&b, "%-28s %d\n", "fs.read.bytes", ctr.Get(probe.CtrFSReadBytes))
+	fmt.Fprintf(&b, "%-28s %d\n", "net.msgs", ctr.Get(probe.CtrNetMsgs))
+	fmt.Fprintf(&b, "%-28s %d\n", "mpi.stalls", ctr.Get(probe.CtrMPIStalls))
+	fmt.Fprintf(&b, "%-28s %v\n", "mpi.stall.time", sim.Time(ctr.Get(probe.CtrMPIStallNS)))
+
+	// -- event volume per layer ---------------------------------------
+	fmt.Fprintf(&b, "\n## events (%d total)\n", len(events))
+	counts := p.LayerCounts()
+	for _, l := range probe.Layers {
+		fmt.Fprintf(&b, "%-28s %d\n", l.String(), counts[int(l)])
+	}
+
+	// -- counter registry ---------------------------------------------
+	fmt.Fprintf(&b, "\n## counters\n%s", ctr.String())
+
+	// -- per-OST distribution (Darshan's per-file access histogram,
+	//    adapted to the simulated stripe targets) ----------------------
+	type ostRow struct {
+		target    int
+		bytes, op int64
+	}
+	var osts []ostRow
+	for _, c := range ctr.Snapshot() {
+		var t int
+		if n, _ := fmt.Sscanf(c.Name, "fs.ost.%d.bytes", &t); n == 1 && strings.HasSuffix(c.Name, ".bytes") {
+			osts = append(osts, ostRow{target: t, bytes: c.Value, op: ctr.Get(probe.OSTCounter(t, "ops"))})
+		}
+	}
+	if len(osts) > 0 {
+		sort.Slice(osts, func(i, j int) bool { return osts[i].target < osts[j].target })
+		fmt.Fprintf(&b, "\n## per-target access\n")
+		fmt.Fprintf(&b, "%-8s %14s %8s\n", "target", "bytes", "ops")
+		for _, o := range osts {
+			fmt.Fprintf(&b, "%-8d %14d %8d\n", o.target, o.bytes, o.op)
+		}
+	}
+
+	// -- stall attribution --------------------------------------------
+	at := Attribute(p)
+	if len(at.Ranks) > 0 {
+		fmt.Fprintf(&b, "\n## stall attribution (per rank, inside collectives)\n")
+		fmt.Fprintf(&b, "%-6s %12s %12s %12s %12s %12s %12s %14s\n",
+			"rank", "total", "write", "shuffle", "sync", "stall", "other", "stall-in-write")
+		row := func(label string, s Segments) {
+			fmt.Fprintf(&b, "%-6s %12v %12v %12v %12v %12v %12v %14v\n",
+				label, s.Total, s.Write, s.Shuffle, s.Sync, s.Stall, s.Other, s.StallInWrite)
+		}
+		for _, r := range at.Ranks {
+			row(fmt.Sprintf("%d", r.Rank), r.Segments)
+		}
+		row("sum", at.Sum)
+		if at.Sum.Write > 0 {
+			fmt.Fprintf(&b, "stall-in-write / write = %.1f%% (progress stalled while blocked in file access)\n",
+				100*float64(at.Sum.StallInWrite)/float64(at.Sum.Write))
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

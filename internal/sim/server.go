@@ -40,6 +40,7 @@ type Server struct {
 	ops      int64
 	bytes    int64
 	uniqSeq  int64
+	queued   int // requests queued or in service, for occupancy probes
 }
 
 type serverReq struct {
@@ -114,6 +115,7 @@ func (s *Server) SubmitFlowOnStart(flow interface{}, size int64, onStart func())
 	s.backlog += d
 	s.ops++
 	s.bytes += size
+	s.queued++
 	if !s.serving {
 		s.serving = true
 		s.serveNext()
@@ -147,6 +149,7 @@ func (s *Server) serveNext() {
 			req.onStart()
 		}
 		s.k.After(req.d, func() {
+			s.queued--
 			req.fut.Complete()
 			s.serveNext()
 		})
@@ -186,3 +189,9 @@ func (s *Server) BusyUntil() Time {
 func (s *Server) Stats() (ops int64, bytes int64, busy Time) {
 	return s.ops, s.bytes, s.busyTime
 }
+
+// QueueDepth returns the number of requests currently queued or in
+// service — the instantaneous occupancy an observability probe samples
+// at submit time. Requests submitted via SubmitFlowAfter count only
+// once their arrival delay has elapsed.
+func (s *Server) QueueDepth() int { return s.queued }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"collio/internal/probe"
 	"collio/internal/sim"
 	"collio/internal/simnet"
 )
@@ -69,6 +70,7 @@ type FS struct {
 	cfg     Config
 	targets []*sim.Server
 	files   map[string]*File
+	probe   *probe.Probe
 }
 
 // New creates a file system whose chunk traffic shares the given
@@ -101,6 +103,51 @@ func (fs *FS) Kernel() *sim.Kernel { return fs.k }
 
 // Target exposes storage target i (diagnostics, utilisation reports).
 func (fs *FS) Target(i int) *sim.Server { return fs.targets[i] }
+
+// NumTargets returns the storage-target count.
+func (fs *FS) NumTargets() int { return len(fs.targets) }
+
+// SetProbe attaches an observability probe (nil detaches). Probing only
+// observes — it never alters write or read timing.
+func (fs *FS) SetProbe(p *probe.Probe) { fs.probe = p }
+
+// observeIO registers a begin/end span for one file-system call on the
+// call's completion future. Rank is the client *node* (the fs layer has
+// no rank notion); V carries the file offset.
+func (fs *FS) observeIO(kind probe.Kind, clientNode int, off, size int64, done *sim.Future) {
+	p := fs.probe
+	if p == nil {
+		return
+	}
+	t0 := fs.k.Now()
+	done.OnDone(func() {
+		p.Emit(probe.Event{
+			At: t0, Dur: fs.k.Now() - t0, Layer: probe.LayerFS, Kind: kind,
+			Rank: clientNode, Peer: -1, Cycle: -1, Size: size, V: off,
+		})
+	})
+}
+
+// observeChunk records one stripe chunk routed to a storage target: an
+// occupancy sample with the estimated queueing delay (backlog at the
+// target when the client issued the call) plus per-OST counters.
+func (fs *FS) observeChunk(clientNode, target int, size int64) {
+	p := fs.probe
+	if p == nil {
+		return
+	}
+	now := fs.k.Now()
+	est := fs.targets[target].BusyUntil() - now
+	if est < 0 {
+		est = 0
+	}
+	p.Emit(probe.Event{
+		At: now, Dur: est, Layer: probe.LayerFS, Kind: probe.KindOSTQueue,
+		Rank: clientNode, Peer: -1, Cycle: -1, Size: size, V: int64(target),
+	})
+	p.Counters().Add(probe.OSTCounter(target, "bytes"), size)
+	p.Counters().Add(probe.OSTCounter(target, "ops"), 1)
+}
 
 // Open returns the named file, creating it empty if needed.
 func (fs *FS) Open(name string) *File {
@@ -163,9 +210,13 @@ func (f *File) startWrite(clientNode int, off, size int64, data []byte) *sim.Fut
 		panic("simfs: data length does not match size")
 	}
 	f.record(off, size, data)
+	ctr := f.fs.probe.Counters()
+	ctr.Add(probe.CtrFSWrites, 1)
+	ctr.Add(probe.CtrFSWriteBytes, size)
 	if size == 0 {
 		out := f.fs.k.NewFuture()
 		f.fs.k.After(f.fs.cfg.ClientPerOp, out.Complete)
+		f.fs.observeIO(probe.KindFSWrite, clientNode, off, size, out)
 		return out
 	}
 	var futs []*sim.Future
@@ -177,6 +228,7 @@ func (f *File) startWrite(clientNode int, off, size int64, data []byte) *sim.Fut
 		n := ch.end - ch.off
 		local := f.fs.cfg.TargetNode != nil && f.fs.cfg.TargetNode(tgt) == clientNode
 		srv := f.fs.targets[tgt]
+		f.fs.observeChunk(clientNode, tgt, n)
 		if local {
 			futs = append(futs, srv.SubmitAfter(f.fs.cfg.ClientPerOp, n))
 			continue
@@ -192,7 +244,9 @@ func (f *File) startWrite(clientNode int, off, size int64, data []byte) *sim.Fut
 		})
 		futs = append(futs, done)
 	}
-	return f.fs.k.Join(futs...)
+	out := f.fs.k.Join(futs...)
+	f.fs.observeIO(probe.KindFSWrite, clientNode, off, size, out)
+	return out
 }
 
 // Write performs a synchronous write from process p running on
@@ -301,12 +355,16 @@ func (f *File) startRead(clientNode int, off, size int64, buf []byte) *sim.Futur
 		panic("simfs: read buffer length does not match size")
 	}
 	f.reads++
+	ctr := f.fs.probe.Counters()
+	ctr.Add(probe.CtrFSReads, 1)
+	ctr.Add(probe.CtrFSReadBytes, size)
 	if buf != nil && off < int64(len(f.data)) {
 		copy(buf, f.data[off:])
 	}
 	if size == 0 {
 		out := f.fs.k.NewFuture()
 		f.fs.k.After(f.fs.cfg.ClientPerOp, out.Complete)
+		f.fs.observeIO(probe.KindFSRead, clientNode, off, size, out)
 		return out
 	}
 	var futs []*sim.Future
@@ -316,6 +374,7 @@ func (f *File) startRead(clientNode int, off, size int64, buf []byte) *sim.Futur
 		n := ch.end - ch.off
 		local := f.fs.cfg.TargetNode != nil && f.fs.cfg.TargetNode(tgt) == clientNode
 		srv := f.fs.targets[tgt]
+		f.fs.observeChunk(clientNode, tgt, n)
 		if local {
 			futs = append(futs, srv.SubmitAfter(f.fs.cfg.ClientPerOp, n))
 			continue
@@ -332,7 +391,9 @@ func (f *File) startRead(clientNode int, off, size int64, buf []byte) *sim.Futur
 		})
 		futs = append(futs, done)
 	}
-	return f.fs.k.Join(futs...)
+	out := f.fs.k.Join(futs...)
+	f.fs.observeIO(probe.KindFSRead, clientNode, off, size, out)
+	return out
 }
 
 // Read performs a synchronous read into buf (POSIX pread semantics: the

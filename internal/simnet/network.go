@@ -13,6 +13,7 @@ package simnet
 import (
 	"fmt"
 
+	"collio/internal/probe"
 	"collio/internal/sim"
 )
 
@@ -52,6 +53,7 @@ type Network struct {
 	k     *sim.Kernel
 	cfg   Config
 	nodes []*Node
+	probe *probe.Probe
 
 	// Cumulative transferred bytes, for reporting.
 	interBytes int64
@@ -89,6 +91,10 @@ func New(k *sim.Kernel, cfg Config) *Network {
 
 // Kernel returns the owning kernel.
 func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// SetProbe attaches an observability probe (nil detaches). Probing only
+// observes — it never alters transfer timing.
+func (n *Network) SetProbe(p *probe.Probe) { n.probe = p }
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -131,13 +137,16 @@ func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer
 	tr := &Transfer{Size: size, From: from, To: to}
 	if from == to {
 		n.intraBytes += size
+		n.observeSend(tr, probe.CauseIntra, n.nodes[from].ipc)
 		f := n.nodes[from].ipc.SubmitFlowAfter(flow, n.cfg.IntraLatency, size)
 		tr.Injected = f
 		tr.Delivered = f
+		n.observeDeliver(tr)
 		return tr
 	}
 	n.interBytes += size
 	src, dst := n.nodes[from], n.nodes[to]
+	n.observeSend(tr, probe.CauseInter, src.tx)
 	// The first byte reaches the destination one wire latency after the
 	// source NIC starts transmitting; tx and rx then stream concurrently
 	// (cut-through), so delivery completes when both ports have finished.
@@ -148,7 +157,52 @@ func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer
 		inner.OnDone(rxDone.Complete)
 	})
 	tr.Delivered = n.k.Join(tr.Injected, rxDone)
+	n.observeDeliver(tr)
 	return tr
+}
+
+// observeSend emits the submit-time events for one transfer: the send
+// itself plus an injection-port occupancy sample (depth before this
+// request joins the queue).
+func (n *Network) observeSend(tr *Transfer, path probe.Cause, port *sim.Server) {
+	p := n.probe
+	if p == nil {
+		return
+	}
+	now := n.k.Now()
+	p.Emit(probe.Event{
+		At: now, Layer: probe.LayerNet, Kind: probe.KindNetSend,
+		Cause: path, Rank: tr.From, Peer: tr.To, Cycle: -1, Size: tr.Size,
+	})
+	p.Emit(probe.Event{
+		At: now, Layer: probe.LayerNet, Kind: probe.KindNetQueue,
+		Cause: path, Rank: tr.From, Peer: tr.To, Cycle: -1,
+		V: int64(port.QueueDepth()),
+	})
+	ctr := p.Counters()
+	ctr.Add(probe.CtrNetMsgs, 1)
+	if path == probe.CauseInter {
+		ctr.Add(probe.CtrNetInterBytes, tr.Size)
+	} else {
+		ctr.Add(probe.CtrNetIntraBytes, tr.Size)
+	}
+}
+
+// observeDeliver registers a delivery event on the transfer's completion
+// future. The extra zero-delay callback cannot reorder pre-existing
+// kernel events (see package probe), so probing stays digest-invariant.
+func (n *Network) observeDeliver(tr *Transfer) {
+	p := n.probe
+	if p == nil {
+		return
+	}
+	k := n.k
+	tr.Delivered.OnDone(func() {
+		p.Emit(probe.Event{
+			At: k.Now(), Layer: probe.LayerNet, Kind: probe.KindNetDeliver,
+			Rank: tr.To, Peer: tr.From, Cycle: -1, Size: tr.Size,
+		})
+	})
 }
 
 // Memcpy charges a memory-copy of size bytes on node i and returns its

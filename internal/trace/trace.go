@@ -23,6 +23,9 @@ const (
 	PhaseShuffle = "shuffle"
 	PhaseWrite   = "write"
 	PhaseRead    = "read"
+	// PhaseSync covers explicit synchronisation: barriers and RMA fences
+	// at cycle and collective boundaries.
+	PhaseSync = "sync"
 )
 
 // Span is one contiguous phase interval on one rank.
@@ -216,6 +219,7 @@ var phaseGlyphs = map[string]byte{
 	PhaseShuffle: 's',
 	PhaseWrite:   'W',
 	PhaseRead:    'R',
+	PhaseSync:    'x',
 }
 
 // Timeline renders an ASCII Gantt chart, one row per rank, width
@@ -294,7 +298,13 @@ func (tr *Recorder) Timeline(width int) string {
 					best = cols[c]
 					g, ok := phaseGlyphs[phase]
 					if !ok {
-						g = phase[0]
+						// Unknown phase: fall back to its first byte, or
+						// '?' for an empty name (Record accepts any label).
+						if phase == "" {
+							g = '?'
+						} else {
+							g = phase[0]
+						}
 					}
 					line[c] = g
 				}
@@ -302,6 +312,6 @@ func (tr *Recorder) Timeline(width int) string {
 		}
 		fmt.Fprintf(&b, "rank %4d |%s|\n", r, line)
 	}
-	b.WriteString("legend: s=shuffle W=write R=read .=other/idle\n")
+	b.WriteString("legend: s=shuffle W=write R=read x=sync .=other/idle\n")
 	return b.String()
 }

@@ -116,3 +116,103 @@ func TestTimelineMinWidth(t *testing.T) {
 		t.Fatalf("timeline: %q", out)
 	}
 }
+
+func TestOverlapTouchingIntervals(t *testing.T) {
+	// [0,50) and [50,100) touch but do not overlap: half-open
+	// semantics must yield zero, not a point overlap.
+	tr := New()
+	tr.Record(0, PhaseWrite, 0, 0, 50)
+	tr.Record(1, PhaseShuffle, 0, 50, 100)
+	if got := tr.Overlap(PhaseWrite, PhaseShuffle); got != 0 {
+		t.Fatalf("touching intervals overlap = %v, want 0", got)
+	}
+	// Touching intervals of the SAME phase merge into one, so the
+	// union has no gap.
+	tr2 := New()
+	tr2.Record(0, PhaseWrite, 0, 0, 50)
+	tr2.Record(1, PhaseWrite, 0, 50, 100)
+	if got := tr2.MergedTotal(PhaseWrite); got != 100 {
+		t.Fatalf("touching same-phase merged total = %v, want 100", got)
+	}
+}
+
+func TestOverlapIdenticalIntervals(t *testing.T) {
+	tr := New()
+	tr.Record(0, PhaseWrite, 0, 10, 90)
+	tr.Record(1, PhaseShuffle, 0, 10, 90)
+	if got := tr.Overlap(PhaseWrite, PhaseShuffle); got != 80 {
+		t.Fatalf("identical intervals overlap = %v, want 80", got)
+	}
+	// Self-overlap of a phase equals its merged total.
+	if got := tr.Overlap(PhaseWrite, PhaseWrite); got != 80 {
+		t.Fatalf("self overlap = %v, want 80", got)
+	}
+	// Duplicate spans must not double-count in the union.
+	tr.Record(2, PhaseWrite, 0, 10, 90)
+	if got := tr.MergedTotal(PhaseWrite); got != 80 {
+		t.Fatalf("duplicate spans merged total = %v, want 80", got)
+	}
+}
+
+func TestOverlapNilAndMissingPhases(t *testing.T) {
+	var nilTr *Recorder
+	if got := nilTr.Overlap(PhaseWrite, PhaseShuffle); got != 0 {
+		t.Fatalf("nil recorder overlap = %v, want 0", got)
+	}
+	if got := nilTr.MergedTotal(PhaseWrite); got != 0 {
+		t.Fatalf("nil recorder merged total = %v, want 0", got)
+	}
+	tr := New()
+	tr.Record(0, PhaseWrite, 0, 0, 10)
+	if got := tr.Overlap(PhaseWrite, PhaseShuffle); got != 0 {
+		t.Fatalf("missing phase overlap = %v, want 0", got)
+	}
+	if got := tr.MergedTotal("no-such-phase"); got != 0 {
+		t.Fatalf("missing phase merged total = %v, want 0", got)
+	}
+}
+
+func TestOverlapCrossRankUnions(t *testing.T) {
+	// Overlap is machine-wide: rank 0 writes [0,30) and rank 2 writes
+	// [20,60); ranks 1 and 3 shuffle [10,40) and [50,55). The write
+	// union is [0,60), the shuffle union {[10,40),[50,55)} — overlap
+	// is 30 + 5 even though no single rank pair overlaps that much.
+	tr := New()
+	tr.Record(0, PhaseWrite, 0, 0, 30)
+	tr.Record(2, PhaseWrite, 0, 20, 60)
+	tr.Record(1, PhaseShuffle, 0, 10, 40)
+	tr.Record(3, PhaseShuffle, 0, 50, 55)
+	if got := tr.Overlap(PhaseWrite, PhaseShuffle); got != 35 {
+		t.Fatalf("cross-rank overlap = %v, want 35", got)
+	}
+	if got := tr.MergedTotal(PhaseWrite); got != 60 {
+		t.Fatalf("write union = %v, want 60", got)
+	}
+}
+
+func TestTimelineSyncGlyph(t *testing.T) {
+	tr := New()
+	tr.Record(0, PhaseSync, 0, 0, 100)
+	out := tr.Timeline(10)
+	if !strings.Contains(out, "xxxxxxxxxx") {
+		t.Fatalf("sync phase not rendered as x:\n%s", out)
+	}
+	if !strings.Contains(out, "x=sync") {
+		t.Fatalf("legend missing sync glyph:\n%s", out)
+	}
+}
+
+func TestTimelineUnknownAndEmptyPhase(t *testing.T) {
+	tr := New()
+	tr.Record(0, "zzz-custom", 0, 0, 50)
+	tr.Record(1, "", 0, 0, 50)
+	out := tr.Timeline(10)
+	// Unknown phases fall back to their first byte; the empty phase
+	// must render '?' instead of panicking on phase[0].
+	if !strings.Contains(out, "zzzzzzzzzz") {
+		t.Fatalf("unknown phase not rendered by first byte:\n%s", out)
+	}
+	if !strings.Contains(out, "??????????") {
+		t.Fatalf("empty phase name not rendered as '?':\n%s", out)
+	}
+}
