@@ -24,12 +24,21 @@ race:
 	$(GO) test -race ./...
 
 # `make bench` also persists the machine-readable perf trajectory for
-# this PR: the raw stream passes through cmd/benchjson into BENCHOUT.
-# BENCHTIME=1x (the default) runs every simulation once — enough for
-# the deterministic sim-ms/op numbers; raise it to steady wall-clock
-# measurements.
+# this PR: the raw stream passes through cmd/benchjson into BENCHOUT,
+# and when BENCHBASE names a prior BENCH_*.json the per-benchmark deltas
+# print to stderr. BENCHTIME=1x (the default) runs every simulation
+# once — enough for the deterministic sim-ms/op numbers; raise it to
+# steady wall-clock measurements.
+#
+# Note the division of labour with `make race`: benchmarks and the
+# parallel sweep runner (-j) measure throughput, while the race lane
+# runs the whole test suite — including the parallel-vs-sequential
+# equivalence tests — under the race detector. Perf numbers come from
+# bench, concurrency-correctness evidence from race.
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR2.json
+BENCHOUT ?= BENCH_PR3.json
+BENCHBASE ?= BENCH_PR2.json
+BENCHDIFF = $(if $(wildcard $(BENCHBASE)),-diff $(BENCHBASE),)
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCHOUT)
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson $(BENCHDIFF) > $(BENCHOUT)

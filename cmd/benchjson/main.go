@@ -2,11 +2,17 @@
 // into indented JSON on stdout, so the Makefile's bench target can
 // persist a machine-readable perf trajectory (BENCH_*.json) per PR:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH_PR2.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH_PR3.json
+//
+// With -diff FILE the run is also compared against a prior BENCH_*.json
+// baseline: per-benchmark metric deltas go to stderr (stdout stays pure
+// JSON for redirection). Benchmarks appearing in only one of the two
+// runs are skipped.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,19 +20,49 @@ import (
 )
 
 func main() {
+	diffFile := flag.String("diff", "", "compare against a prior BENCH_*.json `file`; print deltas to stderr")
+	flag.Parse()
+
 	run, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if len(run.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	if *diffFile != "" {
+		if err := printDiff(*diffFile, run); err != nil {
+			fatal(err)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(run); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+// printDiff loads the baseline run from path and writes the metric
+// deltas of the current run to stderr.
+func printDiff(path string, run *benchfmt.Run) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchfmt.Run
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %v", path, err)
+	}
+	deltas := benchfmt.Diff(&base, run)
+	if len(deltas) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks shared with baseline %s\n", path)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "\ndeltas vs %s:\n", path)
+	return benchfmt.WriteDeltas(os.Stderr, deltas)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
 }

@@ -1,9 +1,9 @@
-// Command collvet runs the collio static-analysis suite: five
+// Command collvet runs the collio static-analysis suite: six
 // simulator-invariant analyzers that catch, at compile time, the
 // protocol bugs that would silently corrupt the reproduction's overlap
 // measurements (leaked requests, wall-clock time in the deterministic
-// kernel, unpaired RMA epochs, blocking calls in kernel callbacks, and
-// payload aliasing).
+// kernel, unpaired RMA epochs, blocking calls in kernel callbacks,
+// payload aliasing, and kernel-owned state shared across goroutines).
 //
 // Usage:
 //

@@ -40,6 +40,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-series progress")
 		npFlag    = flag.String("np", "", "comma-separated process counts for fig1/breakdown (default 64,128; -full 256,576)")
 		runs      = flag.Int("runs", 3, "measurements per series")
+		jobs      = flag.Int("j", exp.DefaultParallelism(), "max simulations run in parallel (results are identical at any -j)")
 		probeF    = flag.Bool("probe", false, "print the probe counter registry of the instrumented run")
 		traceJSON = flag.String("trace-json", "", "write a Chrome/Perfetto trace of the instrumented run to `file`")
 		report    = flag.Bool("report", false, "print a Darshan-style I/O report of the instrumented run")
@@ -64,6 +65,7 @@ func main() {
 		fig1NP = []int{256, 576}
 	}
 	sweep.Runs = *runs
+	sweep.Parallel = *jobs
 	if *verbose {
 		sweep.Progress = os.Stderr
 	}
@@ -133,7 +135,7 @@ func main() {
 
 	if want("fig1") {
 		ran = true
-		pts, err := exp.RunFig1(fig1NP, *runs, progress(*verbose))
+		pts, err := exp.RunFig1(fig1NP, *runs, *jobs, progress(*verbose))
 		if err != nil {
 			fatalf("fig1: %v", err)
 		}
@@ -178,7 +180,7 @@ func main() {
 
 	if want("breakdown") {
 		ran = true
-		pts, err := exp.RunBreakdown(fig1NP)
+		pts, err := exp.RunBreakdown(fig1NP, *jobs)
 		if err != nil {
 			fatalf("breakdown: %v", err)
 		}

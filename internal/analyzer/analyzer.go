@@ -28,6 +28,10 @@
 //	                     they would deadlock the DES scheduler
 //	payloadalias         a buffer handed to Isend/Put is not mutated
 //	                     before the operation completes
+//	kernelshare          no *sim.Kernel, *sim.Proc or *rand.Rand crosses
+//	                     a goroutine boundary outside the kernel (the
+//	                     parallel sweep runner's one-kernel-per-worker
+//	                     rule)
 package analyzer
 
 import (
@@ -84,6 +88,7 @@ func All() []*Analyzer {
 		FencePair,
 		BlockingOutsideRank,
 		PayloadAlias,
+		KernelShare,
 	}
 }
 

@@ -177,6 +177,10 @@ func TestPayloadAliasFixtures(t *testing.T) {
 	runFixtureTest(t, PayloadAlias, "payloadalias")
 }
 
+func TestKernelShareFixtures(t *testing.T) {
+	runFixtureTest(t, KernelShare, "kernelshare")
+}
+
 // TestTreeIsClean is the self-check the verify pipeline leans on: the
 // full suite over the real module must report nothing. Any true positive
 // must be fixed (or the analyzer refined), never waived.

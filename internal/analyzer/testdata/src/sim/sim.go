@@ -4,6 +4,8 @@
 // to exercise every code path without importing the real kernel.
 package sim
 
+import "math/rand"
+
 // Time is virtual time in nanoseconds.
 type Time int64
 
@@ -27,6 +29,7 @@ func (p *Proc) Yield()                      {}
 // Kernel mirrors the DES scheduler surface used by the analyzers.
 type Kernel struct{}
 
+func (k *Kernel) Rand() *rand.Rand                          { return nil }
 func (k *Kernel) After(d Time, fn func())                   { _ = fn }
 func (k *Kernel) At(t Time, fn func())                      { _ = fn }
 func (k *Kernel) NewFuture() *Future                        { return &Future{} }

@@ -51,9 +51,9 @@ func TestParseNoProcsSuffix(t *testing.T) {
 
 func TestParseMalformed(t *testing.T) {
 	for _, bad := range []string{
-		"BenchmarkOdd 	 10	 5\n",          // dangling value without unit
-		"BenchmarkBadN 	 x	 5 ns/op\n",    // non-numeric iterations
-		"BenchmarkBadV 	 10	 y ns/op\n",   // non-numeric metric
+		"BenchmarkOdd 	 10	 5\n",        // dangling value without unit
+		"BenchmarkBadN 	 x	 5 ns/op\n",  // non-numeric iterations
+		"BenchmarkBadV 	 10	 y ns/op\n", // non-numeric metric
 	} {
 		if _, err := Parse(strings.NewReader(bad)); err == nil {
 			t.Fatalf("no error for %q", bad)

@@ -1,0 +1,79 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Delta is one metric of one benchmark compared across two runs.
+type Delta struct {
+	// Name is the benchmark name, with the -GOMAXPROCS suffix restored
+	// when it differs from 1.
+	Name string
+	// Unit is the metric unit (ns/op, B/op, allocs/op, …).
+	Unit string
+	// Old and New are the metric values in the respective runs.
+	Old, New float64
+	// Pct is the relative change in percent: (New-Old)/Old × 100.
+	// Zero when Old is zero.
+	Pct float64
+}
+
+// key pairs results across runs: sub-benchmark path plus parallelism.
+func key(r Result) string { return fmt.Sprintf("%s-%d", r.Name, r.Procs) }
+
+// Diff compares two parsed runs benchmark-by-benchmark. Benchmarks are
+// matched on (name, procs); those present in only one run are skipped
+// (they have no baseline). Deltas come back in the new run's order,
+// metrics sorted by unit, so output is deterministic.
+func Diff(old, new *Run) []Delta {
+	prev := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		prev[key(r)] = r
+	}
+	var out []Delta
+	for _, r := range new.Results {
+		o, ok := prev[key(r)]
+		if !ok {
+			continue
+		}
+		units := make([]string, 0, len(r.Metrics))
+		for u := range r.Metrics {
+			if _, shared := o.Metrics[u]; shared {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		name := r.Name
+		if r.Procs != 1 {
+			name = fmt.Sprintf("%s-%d", r.Name, r.Procs)
+		}
+		for _, u := range units {
+			d := Delta{Name: name, Unit: u, Old: o.Metrics[u], New: r.Metrics[u]}
+			if d.Old != 0 {
+				d.Pct = (d.New - d.Old) / d.Old * 100
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteDeltas renders deltas as an aligned text report, one line per
+// (benchmark, metric).
+func WriteDeltas(w io.Writer, deltas []Delta) error {
+	wide := 0
+	for _, d := range deltas {
+		if len(d.Name) > wide {
+			wide = len(d.Name)
+		}
+	}
+	for _, d := range deltas {
+		if _, err := fmt.Fprintf(w, "%-*s  %12.4g -> %12.4g %-10s %+7.1f%%\n",
+			wide, d.Name, d.Old, d.New, d.Unit, d.Pct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, s string) *Run {
+	t.Helper()
+	run, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestDiff(t *testing.T) {
+	old := mustParse(t, strings.Join([]string{
+		"BenchmarkA-8 	 10	 100 ns/op	 50 B/op",
+		"BenchmarkGone-8 	 10	 5 ns/op",
+		"BenchmarkZero-8 	 10	 0 allocs/op",
+	}, "\n"))
+	new := mustParse(t, strings.Join([]string{
+		"BenchmarkA-8 	 10	 80 ns/op	 75 B/op",
+		"BenchmarkNew-8 	 10	 7 ns/op",
+		"BenchmarkZero-8 	 10	 3 allocs/op",
+	}, "\n"))
+	deltas := Diff(old, new)
+	want := []Delta{
+		{Name: "BenchmarkA-8", Unit: "B/op", Old: 50, New: 75, Pct: 50},
+		{Name: "BenchmarkA-8", Unit: "ns/op", Old: 100, New: 80, Pct: -20},
+		{Name: "BenchmarkZero-8", Unit: "allocs/op", Old: 0, New: 3, Pct: 0},
+	}
+	if len(deltas) != len(want) {
+		t.Fatalf("deltas = %+v, want %d entries", deltas, len(want))
+	}
+	for i, w := range want {
+		if deltas[i] != w {
+			t.Errorf("delta %d = %+v, want %+v", i, deltas[i], w)
+		}
+	}
+}
+
+func TestDiffMatchesOnProcs(t *testing.T) {
+	// The same name at different GOMAXPROCS is a different benchmark.
+	old := mustParse(t, "BenchmarkA-4 	 10	 100 ns/op\n")
+	new := mustParse(t, "BenchmarkA-8 	 10	 80 ns/op\n")
+	if deltas := Diff(old, new); len(deltas) != 0 {
+		t.Fatalf("cross-procs match: %+v", deltas)
+	}
+}
+
+func TestWriteDeltas(t *testing.T) {
+	var b strings.Builder
+	err := WriteDeltas(&b, []Delta{{Name: "BenchmarkA", Unit: "ns/op", Old: 100, New: 80, Pct: -20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"BenchmarkA", "ns/op", "-20.0%"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report %q missing %q", out, frag)
+		}
+	}
+}

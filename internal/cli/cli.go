@@ -28,6 +28,7 @@ type Common struct {
 	Algorithm string
 	Primitive string
 	Runs      int
+	Jobs      int
 	Seed      int64
 	BufferMB  int
 	AllAlgos  bool
@@ -45,6 +46,8 @@ func (c *Common) RegisterFlags() {
 	flag.StringVar(&c.Algorithm, "algo", "write-comm-2-overlap", "overlap algorithm: "+algoList())
 	flag.StringVar(&c.Primitive, "primitive", "two-sided", "shuffle primitive: two-sided|one-sided-fence|one-sided-lock")
 	flag.IntVar(&c.Runs, "runs", 3, "measurements per series")
+	flag.IntVar(&c.Jobs, "j", exp.DefaultParallelism(), "max simulations run in parallel (results are identical at any -j)")
+	flag.IntVar(&c.Jobs, "parallel", exp.DefaultParallelism(), "alias for -j")
 	flag.Int64Var(&c.Seed, "seed", 1, "base random seed")
 	flag.IntVar(&c.BufferMB, "buffer", 32, "collective buffer size in MiB")
 	flag.BoolVar(&c.AllAlgos, "all", false, "run every overlap algorithm and compare")
@@ -138,7 +141,7 @@ func (c *Common) RunBenchmark(gen workload.Generator) error {
 			BufferSize: int64(c.BufferMB) << 20,
 			Read:       c.Read,
 		}
-		s, err := exp.RunSeries(spec, c.Runs, c.Seed)
+		s, err := exp.RunSeriesP(spec, c.Runs, c.Seed, c.Jobs)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"collio/internal/fcoll"
+	"collio/internal/platform"
+)
+
+// benchSpec is a small-but-real collective write: large enough that a
+// run amortizes pool overhead, small enough that -bench stays quick.
+func benchSpec() Spec {
+	return Spec{
+		Platform:  platform.Crill(),
+		NProcs:    16,
+		Gen:       smallIOR(),
+		Algorithm: fcoll.WriteComm2Overlap,
+	}
+}
+
+// benchSeries runs an 8-run series per iteration at the given
+// parallelism. Comparing the Sequential and Parallel variants measures
+// the pool's scaling on the host (on a single-core machine they tie).
+func benchSeries(b *testing.B, parallel int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSeriesP(benchSpec(), 8, 1, parallel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSeriesSequential(b *testing.B) { benchSeries(b, 1) }
+
+func BenchmarkRunSeriesParallel(b *testing.B) { benchSeries(b, 0) } // every core
+
+// BenchmarkTableISweep measures the full sweep driver at fixed worker
+// counts on a scaled-down grid (the j4/j1 ratio is the harness's
+// speedup; on a single-core host the variants tie).
+func BenchmarkTableISweep(b *testing.B) {
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			cfg := SweepConfig{
+				Platforms:  platform.Platforms(),
+				ProcCounts: []int{16},
+				Benchmarks: []BenchCase{{Group: "IOR", Gen: smallIOR()}},
+				Runs:       2,
+				SeedBase:   1000,
+				Parallel:   j,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := RunTableISweep(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

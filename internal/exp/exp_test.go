@@ -149,7 +149,7 @@ func TestTableISweepTiny(t *testing.T) {
 }
 
 func TestFig1Tiny(t *testing.T) {
-	pts, err := RunFig1([]int{16}, 1, nil)
+	pts, err := RunFig1([]int{16}, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestFig4Tiny(t *testing.T) {
 }
 
 func TestBreakdownShares(t *testing.T) {
-	pts, err := RunBreakdown([]int{32})
+	pts, err := RunBreakdown([]int{32}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

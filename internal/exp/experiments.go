@@ -32,8 +32,14 @@ type SweepConfig struct {
 	Runs int
 	// SeedBase offsets all series seeds.
 	SeedBase int64
-	// Progress, if non-nil, receives one line per completed series.
+	// Progress, if non-nil, receives one line per completed run (live,
+	// serialized across workers) plus one summary line per series.
 	Progress io.Writer
+	// Parallel bounds the sweep's worker count; <= 0 means every core
+	// (runtime.GOMAXPROCS). Results are identical at any parallelism:
+	// every simulation is an independent function of its (Spec, seed)
+	// and outputs are collected in case order, never completion order.
+	Parallel int
 }
 
 // scaledCase builds a benchmark at a volume scale (the paper varies
@@ -108,10 +114,43 @@ var algoNames = func() []string {
 	return out
 }()
 
+// sweepCell is one (platform, benchmark, process count) cell of a sweep
+// with the base seed of its first series, assigned in canonical
+// enumeration order — exactly the seeds the sequential runner used.
+type sweepCell struct {
+	pf   platform.Platform
+	bc   BenchCase
+	np   int
+	seed int64
+}
+
+// enumerateCells lists a sweep's cells in canonical order, advancing the
+// seed by seedsPerCell per cell.
+func enumerateCells(cfg SweepConfig, benchmarks []BenchCase, seedBase int64, seedsPerCell int64) []sweepCell {
+	var cells []sweepCell
+	seed := seedBase
+	for _, pf := range cfg.Platforms {
+		for _, bc := range benchmarks {
+			for _, np := range cfg.ProcCounts {
+				if np > pf.MaxProcs() {
+					continue
+				}
+				cells = append(cells, sweepCell{pf: pf, bc: bc, np: np, seed: seed})
+				seed += seedsPerCell
+			}
+		}
+	}
+	return cells
+}
+
 // RunTableISweep executes the evaluation sweep behind Table I and
 // Figs. 2–3: for every (platform, benchmark, process count) it runs a
 // series per overlap algorithm, counts the winner by min-of-series and
 // accumulates positive improvements over the no-overlap baseline.
+//
+// Every run is an independent simulation, so the whole grid fans across
+// cfg.Parallel workers; results fold in canonical cell order, making the
+// outcome identical at any parallelism.
 func RunTableISweep(cfg SweepConfig) (*SweepResult, error) {
 	groups := map[string]bool{}
 	var groupOrder []string
@@ -128,50 +167,68 @@ func RunTableISweep(cfg SweepConfig) (*SweepResult, error) {
 	for _, pf := range cfg.Platforms {
 		res.Improvements[pf.Name] = stats.NewImprovements()
 	}
-	seed := cfg.SeedBase
-	for _, pf := range cfg.Platforms {
-		for _, bc := range cfg.Benchmarks {
-			for _, np := range cfg.ProcCounts {
-				if np > pf.MaxProcs() {
-					continue
-				}
-				mins := make(map[string]stats.Series)
-				for _, algo := range fcoll.Algorithms {
-					// Unpaired series: each algorithm is measured in its
-					// own runs under independent interference, as on a
-					// real shared cluster.
-					s, err := RunSeries(Spec{
-						Platform:  pf,
-						NProcs:    np,
-						Gen:       bc.Gen,
-						Algorithm: algo,
-					}, cfg.Runs, seed)
-					if err != nil {
-						return nil, fmt.Errorf("sweep %s/%s/np=%d/%v: %w", pf.Name, bc.Gen.Name(), np, algo, err)
-					}
-					mins[algo.String()] = s
-					seed += int64(cfg.Runs)
-				}
-				base := mins[fcoll.NoOverlap.String()].Min()
-				seriesTimes := make(map[string]sim.Time, len(mins))
-				for name, s := range mins {
-					seriesTimes[name] = s.Min()
-				}
-				res.Wins.Record(bc.Group, seriesTimes)
-				for _, algo := range fcoll.Algorithms {
-					if algo == fcoll.NoOverlap {
-						continue
-					}
-					imp := stats.Improvement(base, mins[algo.String()].Min())
-					res.Improvements[pf.Name].Record(bc.Group, algo.String(), imp)
-				}
-				res.Series++
-				if cfg.Progress != nil {
-					fmt.Fprintf(cfg.Progress, "series %3d: %-6s %-14s np=%-4d base=%v\n",
-						res.Series, pf.Name, bc.Gen.Name(), np, mins[fcoll.NoOverlap.String()].Min())
-				}
-			}
+
+	runs := cfg.Runs
+	perCell := len(fcoll.Algorithms) * runs
+	cells := enumerateCells(cfg, cfg.Benchmarks, cfg.SeedBase, int64(perCell))
+
+	// Fan out one job per (cell, algorithm, run). Unpaired series: each
+	// algorithm is measured in its own runs under independent
+	// interference, as on a real shared cluster.
+	n := len(cells) * perCell
+	times := make([]sim.Time, n)
+	errs := make([]error, n)
+	pw := newProgressWriter(cfg.Progress)
+	forEach(cfg.Parallel, n, func(i int) {
+		c := cells[i/perCell]
+		algoIdx := (i % perCell) / runs
+		algo := fcoll.Algorithms[algoIdx]
+		spec := Spec{
+			Platform:  c.pf,
+			NProcs:    c.np,
+			Gen:       c.bc.Gen,
+			Algorithm: algo,
+			Seed:      c.seed + int64(i%perCell),
 		}
+		m, err := Execute(spec)
+		if err != nil {
+			errs[i] = fmt.Errorf("sweep %s/%s/np=%d/%v: %w", c.pf.Name, c.bc.Gen.Name(), c.np, algo, err)
+			return
+		}
+		times[i] = m.Elapsed
+		pw.Printf("run: %-6s %-14s np=%-4d %-22v seed=%-6d %v\n",
+			c.pf.Name, c.bc.Gen.Name(), c.np, algo, spec.Seed, m.Elapsed)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	// Fold in canonical order.
+	for ci, c := range cells {
+		mins := make(map[string]stats.Series, len(fcoll.Algorithms))
+		for ai, algo := range fcoll.Algorithms {
+			var s stats.Series
+			for r := 0; r < runs; r++ {
+				s.Add(times[ci*perCell+ai*runs+r])
+			}
+			mins[algo.String()] = s
+		}
+		base := mins[fcoll.NoOverlap.String()].Min()
+		seriesTimes := make(map[string]sim.Time, len(mins))
+		for name, s := range mins {
+			seriesTimes[name] = s.Min()
+		}
+		res.Wins.Record(c.bc.Group, seriesTimes)
+		for _, algo := range fcoll.Algorithms {
+			if algo == fcoll.NoOverlap {
+				continue
+			}
+			imp := stats.Improvement(base, mins[algo.String()].Min())
+			res.Improvements[c.pf.Name].Record(c.bc.Group, algo.String(), imp)
+		}
+		res.Series++
+		pw.Printf("series %3d: %-6s %-14s np=%-4d base=%v\n",
+			res.Series, c.pf.Name, c.bc.Gen.Name(), c.np, base)
 	}
 	return res, nil
 }
@@ -185,10 +242,19 @@ type Fig1Point struct {
 }
 
 // RunFig1 reproduces Figure 1: Tile I/O 1M execution time for two
-// process counts on both platforms, min-of-series per algorithm.
-func RunFig1(procCounts []int, runs int, progress io.Writer) ([]Fig1Point, error) {
-	var out []Fig1Point
+// process counts on both platforms, min-of-series per algorithm. The
+// independent runs fan across up to parallel workers (<= 0 means every
+// core); points come back in canonical (platform, np, algorithm) order
+// regardless of parallelism.
+func RunFig1(procCounts []int, runs, parallel int, progress io.Writer) ([]Fig1Point, error) {
 	gen := tileio.Tile1M()
+	type fig1Cell struct {
+		pf   platform.Platform
+		np   int
+		algo fcoll.Algorithm
+		seed int64
+	}
+	var cells []fig1Cell
 	seed := int64(5000)
 	for _, pf := range platform.Platforms() {
 		for _, np := range procCounts {
@@ -196,21 +262,37 @@ func RunFig1(procCounts []int, runs int, progress io.Writer) ([]Fig1Point, error
 				continue
 			}
 			for _, algo := range fcoll.Algorithms {
-				s, err := RunSeries(Spec{Platform: pf, NProcs: np, Gen: gen, Algorithm: algo}, runs, seed)
-				if err != nil {
-					return nil, err
-				}
+				cells = append(cells, fig1Cell{pf: pf, np: np, algo: algo, seed: seed})
 				seed += int64(runs)
-				_ = algo
-				out = append(out, Fig1Point{
-					Platform: pf.Name, NProcs: np,
-					Algorithm: algo.String(), Min: s.Min(),
-				})
-				if progress != nil {
-					fmt.Fprintf(progress, "fig1: %-6s np=%-4d %-22s min=%v\n", pf.Name, np, algo, s.Min())
-				}
 			}
 		}
+	}
+	n := len(cells) * runs
+	times := make([]sim.Time, n)
+	errs := make([]error, n)
+	forEach(parallel, n, func(i int) {
+		c := cells[i/runs]
+		m, err := Execute(Spec{
+			Platform: c.pf, NProcs: c.np, Gen: gen,
+			Algorithm: c.algo, Seed: c.seed + int64(i%runs),
+		})
+		times[i], errs[i] = m.Elapsed, err
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	out := make([]Fig1Point, 0, len(cells))
+	pw := newProgressWriter(progress)
+	for ci, c := range cells {
+		var s stats.Series
+		for r := 0; r < runs; r++ {
+			s.Add(times[ci*runs+r])
+		}
+		out = append(out, Fig1Point{
+			Platform: c.pf.Name, NProcs: c.np,
+			Algorithm: c.algo.String(), Min: s.Min(),
+		})
+		pw.Printf("fig1: %-6s np=%-4d %-22s min=%v\n", c.pf.Name, c.np, c.algo, s.Min())
 	}
 	return out, nil
 }
@@ -252,51 +334,60 @@ func RunFig4Sweep(cfg SweepConfig) (*Fig4Result, error) {
 		}
 	}
 	res := &Fig4Result{Wins: stats.NewWinCounter(groupOrder, primNames)}
-	seed := cfg.SeedBase + 90000
-	for _, pf := range cfg.Platforms {
-		for _, bc := range cases {
-			for _, np := range cfg.ProcCounts {
-				if np > pf.MaxProcs() {
-					continue
+
+	runs := cfg.Runs
+	perCell := len(fcoll.Primitives) * runs
+	cells := enumerateCells(cfg, cases, cfg.SeedBase+90000, int64(perCell))
+
+	n := len(cells) * perCell
+	elapsed := make([]sim.Time, n)
+	errs := make([]error, n)
+	forEach(cfg.Parallel, n, func(i int) {
+		c := cells[i/perCell]
+		prim := fcoll.Primitives[(i%perCell)/runs]
+		m, err := Execute(Spec{
+			Platform:  c.pf,
+			NProcs:    c.np,
+			Gen:       c.bc.Gen,
+			Algorithm: fcoll.WriteComm2Overlap,
+			Primitive: prim,
+			Seed:      c.seed + int64(i%perCell),
+		})
+		elapsed[i], errs[i] = m.Elapsed, err
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	pw := newProgressWriter(cfg.Progress)
+	for ci, c := range cells {
+		times := make(map[string]sim.Time)
+		for pi, prim := range fcoll.Primitives {
+			var s stats.Series
+			for r := 0; r < runs; r++ {
+				s.Add(elapsed[ci*perCell+pi*runs+r])
+			}
+			times[prim.String()] = s.Min()
+		}
+		res.Wins.Record(c.bc.Group, times)
+		// §IV-B scaling trend bookkeeping (crill only).
+		if c.pf.Name == "crill" {
+			best := bestName(times)
+			oneSided := best != fcoll.TwoSided.String()
+			if c.np < 256 {
+				res.CrillSmallTotal++
+				if oneSided {
+					res.CrillSmallOneSided++
 				}
-				times := make(map[string]sim.Time)
-				for _, prim := range fcoll.Primitives {
-					s, err := RunSeries(Spec{
-						Platform:  pf,
-						NProcs:    np,
-						Gen:       bc.Gen,
-						Algorithm: fcoll.WriteComm2Overlap,
-						Primitive: prim,
-					}, cfg.Runs, seed)
-					if err != nil {
-						return nil, err
-					}
-					times[prim.String()] = s.Min()
-					seed += int64(cfg.Runs)
-				}
-				res.Wins.Record(bc.Group, times)
-				// §IV-B scaling trend bookkeeping (crill only).
-				if pf.Name == "crill" {
-					best := bestName(times)
-					oneSided := best != fcoll.TwoSided.String()
-					if np < 256 {
-						res.CrillSmallTotal++
-						if oneSided {
-							res.CrillSmallOneSided++
-						}
-					} else {
-						res.CrillLargeTotal++
-						if oneSided {
-							res.CrillLargeOneSided++
-						}
-					}
-				}
-				if cfg.Progress != nil {
-					fmt.Fprintf(cfg.Progress, "fig4: %-6s %-14s np=%-4d best=%s\n",
-						pf.Name, bc.Gen.Name(), np, bestName(times))
+			} else {
+				res.CrillLargeTotal++
+				if oneSided {
+					res.CrillLargeOneSided++
 				}
 			}
 		}
+		pw.Printf("fig4: %-6s %-14s np=%-4d best=%s\n",
+			c.pf.Name, c.bc.Gen.Name(), c.np, bestName(times))
 	}
 	return res, nil
 }
@@ -327,30 +418,45 @@ type BreakdownPoint struct {
 	WriteShare float64
 }
 
-// RunBreakdown measures the communication / file-I/O split.
-func RunBreakdown(procCounts []int) ([]BreakdownPoint, error) {
-	var out []BreakdownPoint
+// RunBreakdown measures the communication / file-I/O split. The
+// per-(platform, np) runs fan across up to parallel workers; points
+// return in canonical enumeration order.
+func RunBreakdown(procCounts []int, parallel int) ([]BreakdownPoint, error) {
+	type bdCell struct {
+		pf platform.Platform
+		np int
+	}
+	var cells []bdCell
 	for _, pf := range platform.Platforms() {
 		for _, np := range procCounts {
 			if np > pf.MaxProcs() {
 				continue
 			}
-			m, err := Execute(Spec{
-				Platform: pf, NProcs: np,
-				Gen:       tileio.Tile1M(),
-				Algorithm: fcoll.NoOverlap,
-				Seed:      7,
-			})
-			if err != nil {
-				return nil, err
-			}
-			tot := float64(m.ShuffleTime + m.WriteTime)
-			out = append(out, BreakdownPoint{
-				Platform: pf.Name, NProcs: np,
-				CommShare:  float64(m.ShuffleTime) / tot,
-				WriteShare: float64(m.WriteTime) / tot,
-			})
+			cells = append(cells, bdCell{pf: pf, np: np})
 		}
+	}
+	ms := make([]Metrics, len(cells))
+	errs := make([]error, len(cells))
+	forEach(parallel, len(cells), func(i int) {
+		ms[i], errs[i] = Execute(Spec{
+			Platform: cells[i].pf, NProcs: cells[i].np,
+			Gen:       tileio.Tile1M(),
+			Algorithm: fcoll.NoOverlap,
+			Seed:      7,
+		})
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	out := make([]BreakdownPoint, 0, len(cells))
+	for i, c := range cells {
+		m := ms[i]
+		tot := float64(m.ShuffleTime + m.WriteTime)
+		out = append(out, BreakdownPoint{
+			Platform: c.pf.Name, NProcs: c.np,
+			CommShare:  float64(m.ShuffleTime) / tot,
+			WriteShare: float64(m.WriteTime) / tot,
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"collio/internal/fcoll"
+	"collio/internal/platform"
+	"collio/internal/probe"
+	"collio/internal/trace"
+	"collio/internal/workload/tileio"
+)
+
+// The parallel runner's contract: at any -j the experiment results are
+// deep-equal to the sequential run — every simulation is a pure function
+// of (Spec, seed), and the pool folds outputs in case order, never
+// completion order. These tests pin that contract through every
+// experiment entry point.
+
+func tinySweepConfig(parallel int) SweepConfig {
+	return SweepConfig{
+		Platforms:  platform.Platforms(),
+		ProcCounts: []int{16},
+		Benchmarks: []BenchCase{
+			{Group: "IOR", Gen: smallIOR()},
+			{Group: "Tile I/O 1M", Gen: tileio.Config{ElemSize: 1 << 20, ElemsX: 2, ElemsY: 2, Label: "t"}},
+		},
+		Runs:     2,
+		SeedBase: 300,
+		Parallel: parallel,
+	}
+}
+
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	seq, err := RunTableISweep(tinySweepConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTableISweep(tinySweepConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("table-I sweep diverges at -j4:\nseq: %+v\npar: %+v", seq, par)
+	}
+
+	seqF1, err := RunFig1([]int{16}, 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF1, err := RunFig1([]int{16}, 2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqF1, parF1) {
+		t.Fatalf("fig1 diverges at -j4:\nseq: %+v\npar: %+v", seqF1, parF1)
+	}
+
+	seqF4, err := RunFig4Sweep(tinySweepConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF4, err := RunFig4Sweep(tinySweepConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqF4, parF4) {
+		t.Fatalf("fig4 diverges at -j4:\nseq: %+v\npar: %+v", seqF4, parF4)
+	}
+
+	seqB, err := RunBreakdown([]int{16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parB, err := RunBreakdown([]int{16}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqB, parB) {
+		t.Fatalf("breakdown diverges at -j4:\nseq: %+v\npar: %+v", seqB, parB)
+	}
+}
+
+// TestRunSeriesParallelMatchesSequential pins the series-level runner:
+// samples enter the series in seed order at any parallelism.
+func TestRunSeriesParallelMatchesSequential(t *testing.T) {
+	spec := Spec{
+		Platform:  platform.Ibex(),
+		NProcs:    16,
+		Gen:       smallIOR(),
+		Algorithm: fcoll.WriteComm2Overlap,
+	}
+	seq, err := RunSeriesP(spec, 6, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSeriesP(spec, 6, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("series diverges at -j4:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestParallelTraceDigests runs the same specs concurrently with
+// per-job trace recorders and checks every worker reproduces the
+// sequential digest bit-for-bit: concurrent simulations do not perturb
+// one another even under instrumentation.
+func TestParallelTraceDigests(t *testing.T) {
+	seeds := []int64{1, 5, 9, 13}
+	want := make([]string, len(seeds))
+	for i, s := range seeds {
+		rec := trace.New()
+		if _, err := Execute(determinismSpec(s, rec)); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rec.Digest()
+	}
+	got := make([]string, len(seeds))
+	errs := make([]error, len(seeds))
+	forEach(4, len(seeds), func(i int) {
+		rec := trace.New()
+		_, errs[i] = Execute(determinismSpec(seeds[i], rec))
+		got[i] = rec.Digest()
+	})
+	if err := firstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if got[i] != want[i] {
+			t.Fatalf("seed %d: parallel digest %s != sequential %s", seeds[i], got[i], want[i])
+		}
+	}
+}
+
+// TestProbeDigestInvarianceParallel re-checks observe-without-perturbing
+// when the probed runs execute on pool workers.
+func TestProbeDigestInvarianceParallel(t *testing.T) {
+	seeds := []int64{11, 17}
+	digests := make([]string, 2*len(seeds)) // [plain..., probed...]
+	errs := make([]error, 2*len(seeds))
+	forEach(4, 2*len(seeds), func(i int) {
+		rec := trace.New()
+		spec := determinismSpec(seeds[i%len(seeds)], rec)
+		if i >= len(seeds) {
+			spec.Probe = probe.New()
+		}
+		_, errs[i] = Execute(spec)
+		digests[i] = rec.Digest()
+	})
+	if err := firstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		if digests[i] != digests[i+len(seeds)] {
+			t.Fatalf("seed %d: probe perturbed a pooled run:\n  off: %s\n  on:  %s",
+				s, digests[i], digests[i+len(seeds)])
+		}
+	}
+}

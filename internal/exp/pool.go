@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel experiment pool. Every simulation in a sweep is an
+// independent, deterministic function of its (Spec, seed): each run
+// builds its own sim.Kernel, network, MPI world and file system inside
+// Execute, so runs share no mutable state and can execute on any
+// goroutine. The pool exploits exactly that independence — jobs fan out
+// across a bounded set of workers, and every job writes only into its
+// own pre-assigned result slot, so collected outputs are ordered by job
+// index, never by completion order. Sequential and parallel sweeps are
+// therefore deep-equal by construction (pinned by
+// TestParallelSweepMatchesSequential).
+//
+// The one-kernel-per-worker rule — no *sim.Kernel, *sim.Proc or
+// kernel-owned *rand.Rand crosses a goroutine boundary — is enforced
+// statically by collvet's kernelshare analyzer.
+
+// DefaultParallelism is the worker count used when a sweep or series
+// does not specify one: every available core.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// normalizeParallel maps a -j value to a worker count: <= 0 (unset)
+// means every core.
+func normalizeParallel(j int) int {
+	if j <= 0 {
+		return DefaultParallelism()
+	}
+	return j
+}
+
+// forEach runs job(0..n-1) across at most parallel workers and blocks
+// until all jobs have returned. Workers claim indices from a shared
+// atomic counter, so scheduling adapts to uneven job lengths; with
+// parallel <= 1 the jobs run inline in index order. job must confine
+// its writes to state owned by its index.
+func forEach(parallel, n int, job func(i int)) {
+	parallel = normalizeParallel(parallel)
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// firstError returns the first non-nil error in job-index order, so the
+// reported failure is deterministic regardless of completion order.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progressWriter serializes progress lines from concurrent workers onto
+// one underlying writer. A nil receiver (progress disabled) is a valid
+// no-op sink.
+type progressWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// newProgressWriter wraps w; nil in, nil out.
+func newProgressWriter(w io.Writer) *progressWriter {
+	if w == nil {
+		return nil
+	}
+	return &progressWriter{w: w}
+}
+
+// Printf writes one atomic progress line.
+func (pw *progressWriter) Printf(format string, args ...interface{}) {
+	if pw == nil {
+		return
+	}
+	pw.mu.Lock()
+	fmt.Fprintf(pw.w, format, args...)
+	pw.mu.Unlock()
+}

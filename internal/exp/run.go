@@ -150,16 +150,37 @@ func Execute(spec Spec) (Metrics, error) {
 
 // RunSeries runs a spec `runs` times with seeds seedBase, seedBase+1, …
 // and returns the elapsed-time series (the paper runs 3–9 measurements
-// per series).
+// per series). Runs execute sequentially; use RunSeriesP to fan them
+// across workers.
 func RunSeries(spec Spec, runs int, seedBase int64) (stats.Series, error) {
+	return RunSeriesP(spec, runs, seedBase, 1)
+}
+
+// RunSeriesP is RunSeries with the independent runs of the series fanned
+// across up to parallel workers (<= 0 means every core). Each run owns a
+// private simulation stack built inside Execute, and samples enter the
+// series in seed order regardless of completion order, so the result is
+// identical at every parallelism. A spec carrying shared instrumentation
+// sinks (Trace or Probe) is forced sequential — those sinks are
+// single-owner.
+func RunSeriesP(spec Spec, runs int, seedBase int64, parallel int) (stats.Series, error) {
+	if spec.Trace != nil || spec.Probe != nil {
+		parallel = 1
+	}
+	times := make([]sim.Time, runs)
+	errs := make([]error, runs)
+	forEach(parallel, runs, func(i int) {
+		s := spec
+		s.Seed = seedBase + int64(i)
+		m, err := Execute(s)
+		times[i], errs[i] = m.Elapsed, err
+	})
+	if err := firstError(errs); err != nil {
+		return stats.Series{}, err
+	}
 	var s stats.Series
-	for i := 0; i < runs; i++ {
-		spec.Seed = seedBase + int64(i)
-		m, err := Execute(spec)
-		if err != nil {
-			return stats.Series{}, err
-		}
-		s.Add(m.Elapsed)
+	for _, t := range times {
+		s.Add(t)
 	}
 	return s, nil
 }

@@ -300,8 +300,11 @@ type Probe struct {
 	subs     []func(Event)
 }
 
-// New returns an empty probe.
-func New() *Probe { return &Probe{} }
+// New returns an empty probe. The event log is preallocated: even a
+// small collective write emits thousands of events, and growing the
+// slice from zero costs a dozen reallocation copies per run on the
+// hot append path.
+func New() *Probe { return &Probe{events: make([]Event, 0, 4096)} }
 
 // Enabled reports whether the probe collects anything; instrumentation
 // sites use it to skip expensive argument computation.

@@ -62,13 +62,11 @@ func (f *Future) complete(err error, v interface{}, hasV bool) {
 	// inline, so that a process completing a future while running never
 	// results in two simultaneously-running processes.
 	for _, cb := range f.onDone {
-		cb := cb
 		f.k.After(0, cb)
 	}
 	f.onDone = nil
 	for _, p := range f.waiters {
-		p := p
-		f.k.After(0, func() { f.k.dispatch(p) })
+		f.k.afterDispatch(0, p)
 	}
 	f.waiters = nil
 }

@@ -16,10 +16,15 @@
 // reproducible bit-for-bit given its seed, which is how the statistical
 // methodology of the reproduced paper (multi-seed series, min-of-series)
 // is implemented.
+//
+// A Kernel and everything attached to it (servers, futures, processes)
+// belong to exactly one experiment worker: the parallel sweep runner in
+// internal/exp gives every worker its own kernel and never shares one
+// across goroutines (enforced statically by collvet's kernelshare
+// analyzer).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -51,30 +56,102 @@ func (t Time) String() string {
 	}
 }
 
+// evKind discriminates the pre-bound callback kinds of an event. The
+// dominant schedule sites — process wakeups (timers, future waiters) and
+// bandwidth-server completions — outnumber everything else by orders of
+// magnitude; giving them dedicated kinds avoids allocating a closure per
+// event. Everything else goes through the generic evFunc closure.
+type evKind uint8
+
+const (
+	evFunc       evKind = iota // run fn (generic closure)
+	evDispatch                 // hand the CPU to proc (timer wakeup, future resume)
+	evServerDone               // complete srv's in-service request req
+)
+
+// event is one scheduled occurrence. Events are stored by value inside
+// the kernel's queue slice, so scheduling allocates nothing for the
+// event itself; only evFunc events carry a heap-allocated closure.
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
+	at   Time
+	seq  int64
+	kind evKind
+	fn   func()     // evFunc
+	proc *Proc      // evDispatch
+	srv  *Server    // evServerDone
+	req  *serverReq // evServerDone
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, sequence); the sequence is unique per
+// kernel, so the order is total and independent of heap shape.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// eventQueue is a 4-ary min-heap of events stored by value. Compared to
+// container/heap's binary heap of *event it avoids both the per-event
+// allocation and the interface boxing on every push/pop, and the wider
+// fan-out halves the tree depth — fewer cache lines touched per
+// operation on the deep queues a 500-rank run builds.
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	s := *q
+	// Sift up: move the hole toward the root until e fits.
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.before(&s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = e
+}
+
+// popMin removes and returns the earliest event. The vacated slot is
+// zeroed so the queue never retains closures or process references
+// beyond an event's lifetime.
+func (q *eventQueue) popMin() event {
+	s := *q
+	min := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s[n] = event{}
+	s = s[:n]
+	*q = s
+	if n > 0 {
+		// Sift down: move the hole from the root until last fits.
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if s[j].before(&s[m]) {
+					m = j
+				}
+			}
+			if !s[m].before(&last) {
+				break
+			}
+			s[i] = s[m]
+			i = m
+		}
+		s[i] = last
+	}
+	return min
 }
 
 // Kernel is the discrete-event simulation engine. A Kernel is not safe for
@@ -84,7 +161,7 @@ func (h *eventHeap) Pop() interface{} {
 type Kernel struct {
 	now    Time
 	seq    int64
-	events eventHeap
+	events eventQueue
 	yield  chan struct{} // a running Proc signals here when it blocks/exits
 	rng    *rand.Rand
 	nprocs int // live process count (debugging / deadlock detection)
@@ -97,8 +174,9 @@ type Kernel struct {
 // The same seed always produces the same simulation trajectory.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		yield: make(chan struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
+		yield:  make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		events: make(eventQueue, 0, 64),
 	}
 }
 
@@ -109,13 +187,23 @@ func (k *Kernel) Now() Time { return k.now }
 // used from kernel or process context.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// At schedules fn to run at absolute virtual time t (clamped to now).
-func (k *Kernel) At(t Time, fn func()) {
+// push clamps t to now, stamps the next sequence number and enqueues e.
+// The clamp runs before the sequence increment so a rejected time can
+// never burn a seq (the ordering of the two was previously entangled in
+// At).
+func (k *Kernel) push(t Time, e event) {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	e.at = t
+	e.seq = k.seq
+	k.events.push(e)
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	k.push(t, event{kind: evFunc, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -126,21 +214,76 @@ func (k *Kernel) After(d Time, fn func()) {
 	k.At(k.now+d, fn)
 }
 
-// Stop aborts the simulation: Run returns after the current event.
+// afterDispatch schedules handing the CPU to p after d, using the
+// pre-bound evDispatch kind instead of a `func() { k.dispatch(p) }`
+// closure — the single hottest schedule site (every Sleep, Yield and
+// future wakeup).
+func (k *Kernel) afterDispatch(d Time, p *Proc) {
+	if d < 0 {
+		d = 0
+	}
+	k.push(k.now+d, event{kind: evDispatch, proc: p})
+}
+
+// afterServerDone schedules completion of srv's in-service request.
+func (k *Kernel) afterServerDone(d Time, srv *Server, req *serverReq) {
+	if d < 0 {
+		d = 0
+	}
+	k.push(k.now+d, event{kind: evServerDone, srv: srv, req: req})
+}
+
+// fire runs one event in kernel context.
+func (k *Kernel) fire(e *event) {
+	switch e.kind {
+	case evFunc:
+		e.fn()
+	case evDispatch:
+		k.dispatch(e.proc)
+	case evServerDone:
+		e.srv.finish(e.req)
+	}
+}
+
+// Stop aborts the simulation: Run returns after the current event and
+// releases every still-pending event. Stopping is terminal — a stopped
+// kernel keeps its final clock but schedules nothing further.
 func (k *Kernel) Stop() { k.stopped = true }
+
+// Pending returns the number of scheduled events not yet fired. After a
+// stopped Run returns it is zero: the queue has been drained.
+func (k *Kernel) Pending() int { return len(k.events) }
 
 // Run fires events in order until the event queue is empty or Stop is
 // called. It returns the final virtual time.
 func (k *Kernel) Run() Time {
 	for !k.stopped && len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*event)
+		e := k.events.popMin()
 		k.now = e.at
-		e.fn()
+		k.fire(&e)
 	}
-	if !k.stopped && k.nprocs > 0 {
+	if k.stopped {
+		k.drain()
+	} else if k.nprocs > 0 {
 		panic(fmt.Sprintf("sim: deadlock — %d process(es) still blocked with no pending events at t=%v", k.nprocs, k.now))
 	}
 	return k.now
+}
+
+// drain releases every pending event of a stopped kernel: closures and
+// process references are dropped and pooled server requests returned to
+// their server's free list. Without this a stopped kernel pinned the
+// whole remaining event heap — futures, procs and their goroutine stacks
+// — for as long as the caller held the kernel.
+func (k *Kernel) drain() {
+	for i := range k.events {
+		e := &k.events[i]
+		if e.kind == evServerDone {
+			e.srv.release(e.req)
+		}
+		*e = event{}
+	}
+	k.events = k.events[:0]
 }
 
 // Proc is a simulated sequential process (an MPI rank, an OS helper
@@ -157,6 +300,11 @@ type Proc struct {
 // Spawn creates a process running fn and schedules it to start at the
 // current virtual time.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(0, name, fn)
+}
+
+// SpawnAt is Spawn with a start delay.
+func (k *Kernel) SpawnAt(d Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, wake: make(chan struct{})}
 	k.nprocs++
 	go func() {
@@ -166,22 +314,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		k.nprocs--
 		k.yield <- struct{}{} // return control to the kernel
 	}()
-	k.After(0, func() { k.dispatch(p) })
-	return p
-}
-
-// SpawnAt is Spawn with a start delay.
-func (k *Kernel) SpawnAt(d Time, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, wake: make(chan struct{})}
-	k.nprocs++
-	go func() {
-		<-p.wake
-		fn(p)
-		p.done = true
-		k.nprocs--
-		k.yield <- struct{}{}
-	}()
-	k.After(d, func() { k.dispatch(p) })
+	k.afterDispatch(d, p)
 	return p
 }
 
@@ -209,14 +342,10 @@ func (p *Proc) block() {
 }
 
 // Sleep advances the process by d of virtual time (e.g. a compute phase
-// or memory-copy cost).
+// or memory-copy cost). A non-positive d still yields so that other
+// same-time events interleave fairly.
 func (p *Proc) Sleep(d Time) {
-	if d <= 0 {
-		// Still yield so that other same-time events interleave fairly.
-		d = 0
-	}
-	k := p.k
-	k.After(d, func() { k.dispatch(p) })
+	p.k.afterDispatch(d, p)
 	p.block()
 }
 

@@ -170,3 +170,52 @@ func TestRandDeterminism(t *testing.T) {
 		t.Fatal("different seeds produced identical first values (suspicious)")
 	}
 }
+
+// TestStopDrainsPendingEvents pins the Stop() leak fix: a stopped kernel
+// must release every still-queued event — closures, process references
+// and pooled server requests — instead of pinning the remaining heap for
+// the kernel's lifetime.
+func TestStopDrainsPendingEvents(t *testing.T) {
+	k := NewKernel(1)
+	srv := k.NewServer("disk", 1e9, Microsecond)
+	for i := 0; i < 8; i++ {
+		srv.Submit(1 << 20)
+		k.After(Time(i+1)*Millisecond, func() {})
+	}
+	ran := 0
+	k.At(0, func() { ran++; k.Stop() })
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("stopped kernel retains %d pending events", k.Pending())
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events, want exactly the stopping one", ran)
+	}
+	// The in-service request's evServerDone was drained, so its request
+	// object must be back on the server's free list, not leaked.
+	if srv.freeReqs == nil {
+		t.Fatal("drained server completion did not return its request to the free list")
+	}
+}
+
+// TestEventQueueHeapProperty stress-tests the 4-ary heap against a known
+// ordering: many events at random times must fire in (time, seq) order.
+func TestEventQueueHeapProperty(t *testing.T) {
+	k := NewKernel(42)
+	const n = 5000
+	var fired []Time
+	rng := k.Rand()
+	for i := 0; i < n; i++ {
+		at := Time(rng.Int63n(1000))
+		k.At(at, func() { fired = append(fired, k.Now()) })
+	}
+	k.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d events, want %d", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("event %d fired at %v after %v: heap order violated", i, fired[i], fired[i-1])
+		}
+	}
+}

@@ -41,12 +41,45 @@ type Server struct {
 	bytes    int64
 	uniqSeq  int64
 	queued   int // requests queued or in service, for occupancy probes
+
+	// freeReqs is a free list of recycled request objects. A busy server
+	// turns over one request per served operation; pooling them removes
+	// the dominant steady-state allocation of the DES hot path. Requests
+	// return to the list on completion (finish) and when a stopped kernel
+	// drains its queue (release via Kernel.drain).
+	freeReqs *serverReq
 }
 
 type serverReq struct {
 	d       Time
 	fut     *Future
 	onStart func()
+	next    *serverReq // free-list link, nil while the request is live
+}
+
+// newReq takes a request from the free list (or allocates one) and
+// binds a fresh future to it.
+func (s *Server) newReq(d Time, onStart func()) *serverReq {
+	req := s.freeReqs
+	if req == nil {
+		req = &serverReq{}
+	} else {
+		s.freeReqs = req.next
+	}
+	req.d = d
+	req.fut = s.k.NewFuture()
+	req.onStart = onStart
+	req.next = nil
+	return req
+}
+
+// release clears a request's references and returns it to the free list.
+func (s *Server) release(req *serverReq) {
+	req.d = 0
+	req.fut = nil
+	req.onStart = nil
+	req.next = s.freeReqs
+	s.freeReqs = req
 }
 
 // NewServer creates a round-robin bandwidth server. bandwidth is in
@@ -94,10 +127,6 @@ func (s *Server) SubmitFlow(flow interface{}, size int64) *Future {
 // downstream resources (e.g. a receive port reservation one wire
 // latency after transmission starts).
 func (s *Server) SubmitFlowOnStart(flow interface{}, size int64, onStart func()) *Future {
-	if flow == nil {
-		s.uniqSeq++
-		flow = uniqueFlow{s.uniqSeq}
-	}
 	d := s.serviceTime(size)
 	if s.Noise != nil {
 		f := s.Noise()
@@ -106,20 +135,34 @@ func (s *Server) SubmitFlowOnStart(flow interface{}, size int64, onStart func())
 		}
 		d = Time(float64(d) * f)
 	}
-	req := &serverReq{d: d, fut: s.k.NewFuture(), onStart: onStart}
+	req := s.newReq(d, onStart)
+	s.ops++
+	s.bytes += size
+	s.queued++
+	if !s.serving {
+		// Idle server: the ring and flow map are empty, so the request
+		// enters service immediately. Bypassing the queue structures
+		// (and the interface boxing of a unique flow key) makes the
+		// common uncontended submit allocation-free beyond the future.
+		s.serving = true
+		s.busyTime += d
+		s.serviceEnd = s.k.now + d
+		if onStart != nil {
+			onStart()
+		}
+		s.k.afterServerDone(d, s, req)
+		return req.fut
+	}
+	if flow == nil {
+		s.uniqSeq++
+		flow = uniqueFlow{s.uniqSeq}
+	}
 	q, existed := s.queues[flow]
 	s.queues[flow] = append(q, req)
 	if !existed || len(q) == 0 {
 		s.ring = append(s.ring, flow)
 	}
 	s.backlog += d
-	s.ops++
-	s.bytes += size
-	s.queued++
-	if !s.serving {
-		s.serving = true
-		s.serveNext()
-	}
 	return req.fut
 }
 
@@ -148,14 +191,22 @@ func (s *Server) serveNext() {
 		if req.onStart != nil {
 			req.onStart()
 		}
-		s.k.After(req.d, func() {
-			s.queued--
-			req.fut.Complete()
-			s.serveNext()
-		})
+		s.k.afterServerDone(req.d, s, req)
 		return
 	}
 	s.serving = false
+}
+
+// finish completes one served request: the evServerDone pre-bound
+// callback, run in kernel context. The request object returns to the
+// free list before the future fires so a completion callback that
+// submits again can reuse it immediately.
+func (s *Server) finish(req *serverReq) {
+	s.queued--
+	fut := req.fut
+	s.release(req)
+	fut.Complete()
+	s.serveNext()
 }
 
 // SubmitAfter behaves like SubmitFlow but the request only reaches the

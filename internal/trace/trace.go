@@ -46,8 +46,9 @@ type Recorder struct {
 	Spans []Span
 }
 
-// New returns an empty recorder.
-func New() *Recorder { return &Recorder{} }
+// New returns an empty recorder, preallocated for a typical multi-cycle
+// run so the hot Record path rarely grows the slice.
+func New() *Recorder { return &Recorder{Spans: make([]Span, 0, 512)} }
 
 // Record appends a span. Zero-length spans are dropped. Safe on a nil
 // receiver (no-op), so instrumentation sites need no guards.
