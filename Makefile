@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet collvet test race bench
+.PHONY: check build vet collvet test race bench bench-diff
 
 check: build vet collvet race
 
@@ -36,9 +36,23 @@ race:
 # equivalence tests — under the race detector. Perf numbers come from
 # bench, concurrency-correctness evidence from race.
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR3.json
-BENCHBASE ?= BENCH_PR2.json
+BENCHOUT ?= BENCH_PR4.json
+BENCHBASE ?= BENCH_PR3.json
 BENCHDIFF = $(if $(wildcard $(BENCHBASE)),-diff $(BENCHBASE),)
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson $(BENCHDIFF) > $(BENCHOUT)
+
+# `make bench-diff` is the CI-style regression gate: re-run the
+# benchmarks and fail non-zero if ns/op regressed beyond BENCHFAIL
+# percent against the committed baseline. The gate covers only the
+# long-running end-to-end benchmarks (BENCHGATE) — sub-millisecond
+# micro-benchmarks at BENCHTIME=1x carry too much wall-clock noise to
+# gate on, though their deltas still print for inspection. The JSON
+# goes to a scratch file so the gate never clobbers the committed
+# trajectory.
+BENCHFAIL ?= 30
+BENCHGATE ?= RunSeries|TableISweep|ScaleSweep
+
+bench-diff:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff $(BENCHBASE) -fail-above $(BENCHFAIL) -gate '$(BENCHGATE)' > /dev/null

@@ -2,12 +2,19 @@
 // into indented JSON on stdout, so the Makefile's bench target can
 // persist a machine-readable perf trajectory (BENCH_*.json) per PR:
 //
-//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH_PR3.json
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH_PR4.json
 //
 // With -diff FILE the run is also compared against a prior BENCH_*.json
 // baseline: per-benchmark metric deltas go to stderr (stdout stays pure
 // JSON for redirection). Benchmarks appearing in only one of the two
 // runs are skipped.
+//
+// With -fail-above PCT the comparison becomes a regression gate (the
+// Makefile's bench-diff target): any ns/op delta worse than +PCT% makes
+// the command exit non-zero after listing the offenders. -gate REGEX
+// narrows the gate to matching benchmark names — wall-clock noise on
+// sub-millisecond micro-benchmarks would otherwise dominate, so CI
+// gates only the long-running end-to-end ones.
 package main
 
 import (
@@ -15,12 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 
 	"collio/internal/benchfmt"
 )
 
 func main() {
 	diffFile := flag.String("diff", "", "compare against a prior BENCH_*.json `file`; print deltas to stderr")
+	failAbove := flag.Float64("fail-above", 0, "exit non-zero when any gated ns/op delta exceeds +`pct` percent (0 disables)")
+	gate := flag.String("gate", "", "restrict -fail-above to benchmarks matching `regex` (default: all)")
 	flag.Parse()
 
 	run, err := benchfmt.Parse(os.Stdin)
@@ -30,8 +40,9 @@ func main() {
 	if len(run.Results) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}
+	var deltas []benchfmt.Delta
 	if *diffFile != "" {
-		if err := printDiff(*diffFile, run); err != nil {
+		if deltas, err = printDiff(*diffFile, run); err != nil {
 			fatal(err)
 		}
 	}
@@ -40,26 +51,67 @@ func main() {
 	if err := enc.Encode(run); err != nil {
 		fatal(err)
 	}
+	if *failAbove > 0 {
+		if *diffFile == "" {
+			fatal(fmt.Errorf("-fail-above requires -diff"))
+		}
+		if err := checkGate(deltas, *failAbove, *gate); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-// printDiff loads the baseline run from path and writes the metric
-// deltas of the current run to stderr.
-func printDiff(path string, run *benchfmt.Run) error {
+// printDiff loads the baseline run from path, writes the metric deltas
+// of the current run to stderr, and returns them for gating.
+func printDiff(path string, run *benchfmt.Run) ([]benchfmt.Delta, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var base benchfmt.Run
 	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("baseline %s: %v", path, err)
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
 	}
 	deltas := benchfmt.Diff(&base, run)
 	if len(deltas) == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks shared with baseline %s\n", path)
-		return nil
+		return nil, nil
 	}
 	fmt.Fprintf(os.Stderr, "\ndeltas vs %s:\n", path)
-	return benchfmt.WriteDeltas(os.Stderr, deltas)
+	return deltas, benchfmt.WriteDeltas(os.Stderr, deltas)
+}
+
+// checkGate fails when any gated benchmark's ns/op regressed beyond
+// +pct percent relative to the baseline.
+func checkGate(deltas []benchfmt.Delta, pct float64, gate string) error {
+	var re *regexp.Regexp
+	if gate != "" {
+		var err error
+		if re, err = regexp.Compile(gate); err != nil {
+			return fmt.Errorf("bad -gate regexp: %v", err)
+		}
+	}
+	var bad []benchfmt.Delta
+	gated := 0
+	for _, d := range deltas {
+		if d.Unit != "ns/op" || (re != nil && !re.MatchString(d.Name)) {
+			continue
+		}
+		gated++
+		if d.Old != 0 && d.Pct > pct {
+			bad = append(bad, d)
+		}
+	}
+	if gated == 0 {
+		return fmt.Errorf("gate matched no ns/op deltas (gate %q)", gate)
+	}
+	if len(bad) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok — %d benchmark(s) within +%g%% ns/op\n", gated, pct)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "\nbenchjson: ns/op regressions beyond +%g%%:\n", pct)
+	benchfmt.WriteDeltas(os.Stderr, bad)
+	return fmt.Errorf("%d benchmark(s) regressed beyond +%g%% ns/op", len(bad), pct)
 }
 
 func fatal(err error) {

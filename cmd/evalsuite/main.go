@@ -10,11 +10,13 @@
 //	breakdown — §IV-A: shuffle vs file-access time split, no-overlap code
 //	all       — everything above
 //	probe     — one instrumented Tile I/O 1M run (see -probe/-trace-json/-report)
+//	scale     — multi-thousand-rank IOR sweep on ibex (see -ranks; not in "all")
 //
 // Use -full for the extended sweep (larger process counts; slow) and
-// -np to override Fig. 1 / breakdown process counts. The observability
-// flags -probe, -trace-json and -report attach event probes to a
-// single instrumented run (implies the probe experiment).
+// -np to override Fig. 1 / breakdown process counts. The scale sweep
+// takes its rank counts from -ranks (default 1024,2048,4096). The
+// observability flags -probe, -trace-json and -report attach event
+// probes to a single instrumented run (implies the probe experiment).
 package main
 
 import (
@@ -23,7 +25,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"collio/internal/cli"
 	"collio/internal/exp"
 	"collio/internal/fcoll"
 	"collio/internal/platform"
@@ -35,17 +39,23 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|breakdown|probe|all")
+		which     = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|breakdown|probe|scale|all")
 		full      = flag.Bool("full", false, "run the extended sweep (slow)")
 		verbose   = flag.Bool("v", false, "print per-series progress")
 		npFlag    = flag.String("np", "", "comma-separated process counts for fig1/breakdown (default 64,128; -full 256,576)")
+		ranksFlag = flag.String("ranks", "", "comma-separated rank counts for the scale sweep (default 1024,2048,4096)")
 		runs      = flag.Int("runs", 3, "measurements per series")
 		jobs      = flag.Int("j", exp.DefaultParallelism(), "max simulations run in parallel (results are identical at any -j)")
 		probeF    = flag.Bool("probe", false, "print the probe counter registry of the instrumented run")
 		traceJSON = flag.String("trace-json", "", "write a Chrome/Perfetto trace of the instrumented run to `file`")
 		report    = flag.Bool("report", false, "print a Darshan-style I/O report of the instrumented run")
 	)
+	var prof cli.Profiler
+	prof.RegisterFlags()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatalf("profiling: %v", err)
+	}
 
 	obs := *probeF || *traceJSON != "" || *report
 	if obs {
@@ -80,8 +90,48 @@ func main() {
 		}
 	}
 
-	want := func(name string) bool { return *which == "all" || *which == name }
+	// The scale sweep is opt-in only: minutes of wall-clock that "all"
+	// (the laptop-scale paper reproduction) should not pull in.
+	want := func(name string) bool {
+		if name == "scale" {
+			return *which == "scale"
+		}
+		return *which == "all" || *which == name
+	}
 	ran := false
+
+	if want("scale") {
+		ran = true
+		cfg := exp.DefaultScaleConfig()
+		if *ranksFlag != "" {
+			cfg.RankCounts = nil
+			for _, s := range strings.Split(*ranksFlag, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n <= 0 {
+					fatalf("bad -ranks value %q", s)
+				}
+				cfg.RankCounts = append(cfg.RankCounts, n)
+			}
+		}
+		if *verbose {
+			cfg.Progress = os.Stderr
+		}
+		pts, err := exp.RunScaleSweep(cfg)
+		if err != nil {
+			fatalf("scale sweep: %v", err)
+		}
+		head := []string{"np", "Algorithm", "Simulated", "File volume", "Host wall-clock"}
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{
+				strconv.Itoa(p.NProcs), p.Algorithm, p.Elapsed.String(),
+				fmt.Sprintf("%.0f MiB", float64(p.Bytes)/(1<<20)),
+				p.Wall.Round(time.Millisecond).String(),
+			})
+		}
+		fmt.Println(stats.RenderTable("SCALE — IOR collective write on ibex (1 MiB per rank, one run per point)", head, rows))
+		fmt.Println()
+	}
 
 	if want("table1") || want("fig2") || want("fig3") {
 		ran = true
@@ -205,7 +255,10 @@ func main() {
 	}
 
 	if !ran {
-		fatalf("unknown experiment %q (want table1|fig1|fig2|fig3|fig4|breakdown|probe|all)", *which)
+		fatalf("unknown experiment %q (want table1|fig1|fig2|fig3|fig4|breakdown|probe|scale|all)", *which)
+	}
+	if err := prof.Stop(); err != nil {
+		fatalf("profiling: %v", err)
 	}
 }
 

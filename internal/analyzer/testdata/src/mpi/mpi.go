@@ -22,6 +22,7 @@ type Request struct{ fut *sim.Future }
 
 func (q *Request) Done() bool          { return q.fut.Done() }
 func (q *Request) Future() *sim.Future { return q.fut }
+func (q *Request) Received() int64     { return 0 }
 
 // LockType selects shared or exclusive passive-target locking.
 type LockType int

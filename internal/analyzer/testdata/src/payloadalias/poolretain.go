@@ -1,0 +1,68 @@
+// Fixtures for the pool-retention rule: a *simnet.Transfer handed back
+// with Network.Release, or an *mpi.Request recycled by Wait, must not
+// be used past the release point.
+package payloadalias
+
+import (
+	"mpi"
+	"simnet"
+)
+
+func badReadAfterRelease(net *simnet.Network) int64 {
+	tr := net.Send(0, 1, 4096)
+	net.Release(tr)
+	return tr.Size // want `pooled handle "tr" used after Network.Release`
+}
+
+func badCallbackAfterRelease(net *simnet.Network) {
+	tr := net.SendFlow(nil, 0, 1, 4096)
+	done := tr.Delivered
+	net.Release(tr)
+	done.OnDone(func() {
+		_ = tr.From // want `pooled handle "tr" used after Network.Release`
+	})
+}
+
+func badDoubleRelease(net *simnet.Network) {
+	tr := net.Send(0, 1, 64)
+	net.Release(tr)
+	net.Release(tr) // want `pooled handle "tr" used after Network.Release`
+}
+
+func badRequestAfterWait(r *mpi.Rank) int64 {
+	q := r.Irecv(0, 3, 1024, nil)
+	r.Wait(q)
+	return q.Received() // want `pooled handle "q" used after Wait`
+}
+
+// --- near misses: extraction before release and rebinding stay silent ---
+
+func goodCaptureBeforeRelease(net *simnet.Network) int64 {
+	tr := net.Send(0, 1, 4096)
+	size := tr.Size
+	done := tr.Delivered
+	net.Release(tr)
+	done.OnDone(func() {})
+	return size
+}
+
+func goodRebindAfterRelease(net *simnet.Network) int64 {
+	tr := net.Send(0, 1, 64)
+	net.Release(tr)
+	tr = net.Send(1, 0, 128) // fresh handle: epoch over
+	return tr.Size
+}
+
+func goodOtherHandle(net *simnet.Network) int64 {
+	a := net.Send(0, 1, 64)
+	b := net.Send(1, 0, 128)
+	net.Release(a)
+	return b.Size // distinct handle
+}
+
+func goodWaitSpread(r *mpi.Rank) {
+	reqs := []*mpi.Request{r.Isend(1, 0, mpi.Symbolic(8))}
+	r.Wait(reqs...)
+	reqs = reqs[:0] // slice reuse after a spread Wait is the normal reap idiom
+	_ = reqs
+}

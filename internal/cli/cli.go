@@ -37,6 +37,7 @@ type Common struct {
 	Probe     bool
 	TraceJSON string
 	Report    bool
+	Prof      Profiler
 }
 
 // RegisterFlags installs the common flags on the default FlagSet.
@@ -56,6 +57,7 @@ func (c *Common) RegisterFlags() {
 	flag.BoolVar(&c.Probe, "probe", false, "attach event probes to one run and print the counter registry")
 	flag.StringVar(&c.TraceJSON, "trace-json", "", "write a Chrome/Perfetto trace of one run to `file`")
 	flag.BoolVar(&c.Report, "report", false, "print a Darshan-style I/O report (with stall attribution) of one run")
+	c.Prof.RegisterFlags()
 }
 
 func algoList() string {
@@ -98,7 +100,16 @@ func (c *Common) ResolvePrimitive() (fcoll.Primitive, error) {
 
 // RunBenchmark executes the generator under the common flags and prints
 // an IOR-style summary. With -all it compares every overlap algorithm.
-func (c *Common) RunBenchmark(gen workload.Generator) error {
+// The -cpuprofile/-memprofile outputs cover the whole execution.
+func (c *Common) RunBenchmark(gen workload.Generator) (err error) {
+	if err := c.Prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if e := c.Prof.Stop(); err == nil {
+			err = e
+		}
+	}()
 	pf, err := c.ResolvePlatform()
 	if err != nil {
 		return err

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler implements the -cpuprofile/-memprofile flags shared by the
+// benchmark tools (iorbench, tileio, flashio) and evalsuite. The
+// profiles cover the whole run — simulation, sweep harness and
+// reporting — which is what the hot-path work optimises.
+type Profiler struct {
+	CPUFile string
+	MemFile string
+	cpuOut  *os.File
+}
+
+// RegisterFlags installs the profiling flags on the default FlagSet.
+func (p *Profiler) RegisterFlags() {
+	flag.StringVar(&p.CPUFile, "cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	flag.StringVar(&p.MemFile, "memprofile", "", "write a pprof heap profile at exit to `file`")
+}
+
+// Start begins CPU profiling when -cpuprofile was given; a no-op
+// otherwise.
+func (p *Profiler) Start() error {
+	if p.CPUFile == "" {
+		return nil
+	}
+	f, err := os.Create(p.CPUFile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuOut = f
+	return nil
+}
+
+// Stop finishes the CPU profile and, when -memprofile was given, writes
+// a heap profile. Safe to call when Start did nothing.
+func (p *Profiler) Stop() error {
+	if p.cpuOut != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuOut.Close(); err != nil {
+			return err
+		}
+		p.cpuOut = nil
+	}
+	if p.MemFile == "" {
+		return nil
+	}
+	f, err := os.Create(p.MemFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// One collection first, so the snapshot reports live retained heap
+	// rather than whatever garbage the last sweep left behind.
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

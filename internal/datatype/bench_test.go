@@ -1,0 +1,38 @@
+package datatype
+
+import "testing"
+
+// benchSubarray is a fragmented 2-D tile: 128 rows of 16 KiB inside a
+// row-major global array — the Tile I/O shape that stresses flattening.
+func benchSubarray() Type {
+	return Subarray(
+		[]int64{1024, 1024},
+		[]int64{128, 64},
+		[]int64{256, 512},
+		256,
+	)
+}
+
+// BenchmarkFlattenCoalesce compares the allocating entry point with the
+// arena-backed one the workload generators use.
+func BenchmarkFlattenCoalesce(b *testing.B) {
+	sub := benchSubarray()
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if es := Flatten(sub, 0); len(es) == 0 {
+				b.Fatal("empty flatten")
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		var dst []Extent
+		for i := 0; i < b.N; i++ {
+			dst = FlattenInto(dst[:0], sub, 0)
+			if len(dst) == 0 {
+				b.Fatal("empty flatten")
+			}
+		}
+	})
+}

@@ -32,18 +32,33 @@ type Type interface {
 // Flatten materialises the extents of t placed at byte offset base,
 // coalescing adjacent ranges.
 func Flatten(t Type, base int64) []Extent {
-	return Coalesce(t.flatten(base, nil))
+	return FlattenInto(nil, t, base)
+}
+
+// FlattenInto appends the extents of t placed at byte offset base to
+// dst and coalesces the appended tail in place, returning the extended
+// slice. Passing a reused dst[:0] (or a partially filled arena) lets
+// callers flatten many types without per-call allocations; extents
+// already in dst are never touched.
+func FlattenInto(dst []Extent, t Type, base int64) []Extent {
+	mark := len(dst)
+	return coalesceTail(t.flatten(base, dst), mark)
 }
 
 // Coalesce sorts nothing — extents must already be in ascending offset
 // order, which all Type implementations produce — but merges ranges
 // that touch or overlap.
 func Coalesce(es []Extent) []Extent {
-	if len(es) < 2 {
+	return coalesceTail(es, 0)
+}
+
+// coalesceTail coalesces es[mark:] in place, leaving es[:mark] alone.
+func coalesceTail(es []Extent, mark int) []Extent {
+	if len(es)-mark < 2 {
 		return es
 	}
-	out := es[:1]
-	for _, e := range es[1:] {
+	out := es[:mark+1]
+	for _, e := range es[mark+1:] {
 		if e.Len == 0 {
 			continue
 		}
@@ -251,13 +266,19 @@ func (s subarray) flatten(base int64, dst []Extent) []Extent {
 	// Row length (in bytes) of one contiguous run: the innermost
 	// dimension of the box.
 	runLen := s.subsizes[n-1] * s.elemSize
-	// Strides of each dimension in bytes.
-	strides := make([]int64, n)
+	// Strides of each dimension in bytes; stack storage up to 8 dims.
+	var stridesBuf, idxBuf [8]int64
+	var strides, idx []int64
+	if n <= len(stridesBuf) {
+		strides, idx = stridesBuf[:n], idxBuf[:n-1]
+	} else {
+		strides, idx = make([]int64, n), make([]int64, n-1)
+	}
 	strides[n-1] = s.elemSize
 	for d := n - 2; d >= 0; d-- {
 		strides[d] = strides[d+1] * s.sizes[d+1]
 	}
-	idx := make([]int64, n-1) // iterate over all dims but the last
+	// idx iterates over all dims but the last (odometer, zero-initialised).
 	for {
 		off := base + s.starts[n-1]*s.elemSize
 		for d := 0; d < n-1; d++ {

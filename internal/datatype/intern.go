@@ -1,0 +1,76 @@
+package datatype
+
+import "sync"
+
+// Interner deduplicates extent lists: identical lists share one
+// canonical slice. Workload generators produce the same flattened views
+// over and over across a sweep (every algorithm × runs × seeds
+// re-generates the identical layout), so interning collapses the
+// per-rank extent storage of repeated Views calls to one copy.
+//
+// Interned slices are shared — callers must treat them as immutable.
+// Safe for concurrent use (parallel sweep runners generate views from
+// multiple goroutines).
+type Interner struct {
+	mu      sync.Mutex
+	buckets map[uint64][][]Extent
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{buckets: make(map[uint64][][]Extent)}
+}
+
+// Intern returns the canonical slice equal to es, registering a private
+// copy of es if no equal list is known yet. A nil or empty input is
+// returned as-is.
+func (in *Interner) Intern(es []Extent) []Extent {
+	if len(es) == 0 {
+		return es
+	}
+	h := hashExtents(es)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, cand := range in.buckets[h] {
+		if extentsEqual(cand, es) {
+			return cand
+		}
+	}
+	cp := append([]Extent(nil), es...)
+	in.buckets[h] = append(in.buckets[h], cp)
+	return cp
+}
+
+// hashExtents is FNV-1a over the raw offset/length words.
+func hashExtents(es []Extent) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v int64) {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	for _, e := range es {
+		mix(e.Off)
+		mix(e.Len)
+	}
+	return h
+}
+
+func extentsEqual(a, b []Extent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

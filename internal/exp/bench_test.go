@@ -35,6 +35,19 @@ func BenchmarkRunSeriesSequential(b *testing.B) { benchSeries(b, 1) }
 
 func BenchmarkRunSeriesParallel(b *testing.B) { benchSeries(b, 0) } // every core
 
+// BenchmarkScaleSweep runs one 1024-rank point of the scale sweep — the
+// smallest multi-thousand-rank simulation. ns/op here is the wall-clock
+// the flat-plan and pooled-protocol work targets; allocs/op is dominated
+// by the per-rank goroutine stacks, so watch bytes/op for pool leaks.
+func BenchmarkScaleSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(ScaleSpec(1024, fcoll.WriteComm2Overlap, 1<<20, 17)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTableISweep measures the full sweep driver at fixed worker
 // counts on a scaled-down grid (the j4/j1 ratio is the harness's
 // speedup; on a single-core host the variants tie).

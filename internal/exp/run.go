@@ -32,6 +32,11 @@ type Spec struct {
 	// Read runs the benchmark as collective reads instead of writes
 	// (two-sided primitive only).
 	Read bool
+	// DataMode materialises real per-rank buffers instead of symbolic
+	// payloads. The model charges identical virtual time either way
+	// (enforced by TestDataSymbolicEquivalence); data mode exists for
+	// end-to-end content verification at a host-memory cost.
+	DataMode bool
 	// Trace, when non-nil, records phase spans of the run.
 	Trace *trace.Recorder
 	// Probe, when non-nil, is attached to all four simulator layers
@@ -77,7 +82,7 @@ func Execute(spec Spec) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	views, err := spec.Gen.Views(spec.NProcs, false, workloadSeed)
+	views, err := spec.Gen.Views(spec.NProcs, spec.DataMode, workloadSeed)
 	if err != nil {
 		return Metrics{}, err
 	}

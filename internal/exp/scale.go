@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"collio/internal/fcoll"
+	"collio/internal/platform"
+	"collio/internal/sim"
+	"collio/internal/workload/ior"
+)
+
+// ScaleConfig configures the multi-thousand-rank scale sweep: an IOR
+// collective write on the ibex model (the larger platform, 4320 rank
+// capacity) at rank counts far beyond the paper's 16–704 range. The
+// sweep exists to exercise — and to document the cost of — the regime
+// the flat-plan and pooled-protocol hot path opens up; its simulated
+// results are as deterministic as any other run.
+type ScaleConfig struct {
+	// RankCounts to sweep; every count must fit the ibex model (4320).
+	RankCounts []int
+	// Algorithms to run per rank count.
+	Algorithms []fcoll.Algorithm
+	// PerRankBytes is each rank's write volume (the file grows linearly
+	// with the rank count). Default 1 MiB: large enough for several
+	// cycles per aggregator at scale, small enough that the 4096-rank
+	// point stays a quick run.
+	PerRankBytes int64
+	// Seed drives platform noise (one run per point).
+	Seed int64
+	// Progress, if non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+// DefaultScaleConfig returns the quick sweep recorded in EXPERIMENTS.md:
+// 1024/2048/4096 ranks, baseline vs the paper's best all-round
+// algorithm.
+func DefaultScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		RankCounts:   []int{1024, 2048, 4096},
+		Algorithms:   []fcoll.Algorithm{fcoll.NoOverlap, fcoll.WriteComm2Overlap},
+		PerRankBytes: 1 << 20,
+		Seed:         17,
+	}
+}
+
+// ScalePoint is one row of the scale sweep.
+type ScalePoint struct {
+	NProcs    int
+	Algorithm string
+	// Elapsed is the simulated completion time (slowest rank).
+	Elapsed sim.Time
+	// Bytes is the file volume written.
+	Bytes int64
+	// Wall is the host wall-clock the simulation itself took — the
+	// number the hot-path work targets.
+	Wall time.Duration
+}
+
+// ScaleSpec builds the Spec for one scale-sweep point, shared by the
+// sweep runner and BenchmarkScaleSweep so both measure the same
+// simulation.
+func ScaleSpec(np int, algo fcoll.Algorithm, perRankBytes, seed int64) Spec {
+	if perRankBytes <= 0 {
+		perRankBytes = 1 << 20
+	}
+	return Spec{
+		Platform:  platform.Ibex(),
+		NProcs:    np,
+		Gen:       ior.Config{BlockSize: perRankBytes, Segments: 1},
+		Algorithm: algo,
+		Seed:      seed,
+	}
+}
+
+// RunScaleSweep executes the sweep. Points run sequentially — each one
+// is internally a whole simulated cluster, and sequential execution
+// keeps the per-point wall-clock numbers honest.
+func RunScaleSweep(cfg ScaleConfig) ([]ScalePoint, error) {
+	if len(cfg.RankCounts) == 0 || len(cfg.Algorithms) == 0 {
+		return nil, fmt.Errorf("exp: scale sweep needs rank counts and algorithms")
+	}
+	pf := platform.Ibex()
+	pw := newProgressWriter(cfg.Progress)
+	var out []ScalePoint
+	for _, np := range cfg.RankCounts {
+		if np > pf.MaxProcs() {
+			return nil, fmt.Errorf("exp: scale sweep np=%d exceeds %s capacity %d",
+				np, pf.Name, pf.MaxProcs())
+		}
+		for _, algo := range cfg.Algorithms {
+			start := time.Now()
+			m, err := Execute(ScaleSpec(np, algo, cfg.PerRankBytes, cfg.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("scale np=%d %v: %w", np, algo, err)
+			}
+			p := ScalePoint{
+				NProcs:    np,
+				Algorithm: algo.String(),
+				Elapsed:   m.Elapsed,
+				Bytes:     m.BytesWritten,
+				Wall:      time.Since(start),
+			}
+			out = append(out, p)
+			pw.Printf("scale: np=%-5d %-22s sim=%-12v wall=%v\n",
+				p.NProcs, p.Algorithm, p.Elapsed, p.Wall.Round(time.Millisecond))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,28 @@
+package fcoll
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBuildPlan measures the flat two-pass planner on a dense
+// random view, small and large rank counts. The planCache is cleared
+// every iteration so each one rebuilds from scratch — the cost a sweep
+// pays once per (JobView, geometry) pair.
+func BenchmarkBuildPlan(b *testing.B) {
+	for _, np := range []int{16, 512} {
+		b.Run(fmt.Sprintf("np%d", np), func(b *testing.B) {
+			w := planWorld(b, np, 8)
+			jv := denseRandomView(b, np, int64(np)*1<<16, 42)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jv.planCache = nil
+				p := buildPlan(jv, w, 1<<20, 0, ContiguousDomains)
+				if p.ncycles == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+	}
+}

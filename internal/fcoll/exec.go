@@ -9,7 +9,10 @@ import (
 	"collio/internal/trace"
 )
 
-// exec is the per-rank execution state of one collective write.
+// exec is the per-rank execution state of one collective write. The
+// scratch fields at the bottom are grow-only and recycled across
+// cycles: after the first cycle or two the steady-state hot path
+// allocates nothing per cycle.
 type exec struct {
 	r        *mpi.Rank
 	jv       *JobView
@@ -22,6 +25,12 @@ type exec struct {
 	bufs     [2][]byte
 	wins     [2]*mpi.Window
 	res      Result
+
+	shState   [2]shuffle // per-slot shuffle state, reused across cycles
+	stageBuf  [2][]byte  // per-slot staged-receive arenas (data mode)
+	stageUsed [2]int64
+	packBuf   []byte // pack scratch; reusable because Isend snapshots data
+	peersBuf  []int  // cycleOrigins/cycleTargets scratch
 }
 
 // Run executes one collective write on rank r. Every rank of the world
@@ -173,13 +182,31 @@ func (ex *exec) chargeCopy(n int64) {
 	ex.r.WaitFutures(fut)
 }
 
+// stageAlloc carves n bytes out of the slot's grow-only staging arena.
+// The arena resets at shuffleInit: every algorithm completes (waits and
+// unpacks) a slot's shuffle before reusing the slot, so outstanding
+// staged buffers never overlap a reset. A mid-cycle grow abandons the
+// old backing array, which earlier buffers of the same cycle keep
+// referencing — valid, just unrecycled until the arena converges.
+func (ex *exec) stageAlloc(slot int, n int64) []byte {
+	u := ex.stageUsed[slot]
+	if int64(len(ex.stageBuf[slot]))-u < n {
+		grown := int64(len(ex.stageBuf[slot]))*2 + n
+		ex.stageBuf[slot] = make([]byte, grown)
+		u = 0
+	}
+	ex.stageUsed[slot] = u + n
+	return ex.stageBuf[slot][u : u+n : u+n]
+}
+
 // shuffle is an in-flight shuffle phase on one sub-buffer.
 type shuffle struct {
 	cycle, slot int
 	initAt      sim.Time
 	reqs        []*mpi.Request // two-sided: sends + receives
-	staged      []stagedRecv   // receives needing scatter into the buffer
+	staged      []stagedRecv   // data mode: receives needing scatter into the buffer
 	unpackBytes int64
+	futs        []*sim.Future // future() scratch
 }
 
 type stagedRecv struct {
@@ -190,17 +217,25 @@ type stagedRecv struct {
 // future returns a completion future covering all of the shuffle's
 // requests (two-sided only; used by the data-flow algorithm).
 func (sh *shuffle) future(k *sim.Kernel) *sim.Future {
-	fs := make([]*sim.Future, len(sh.reqs))
-	for i, q := range sh.reqs {
-		fs[i] = q.Future()
+	sh.futs = sh.futs[:0]
+	for _, q := range sh.reqs {
+		sh.futs = append(sh.futs, q.Future())
 	}
-	return k.Join(fs...)
+	return k.Join(sh.futs...)
 }
 
-// shuffleInit starts the shuffle for cycle c into sub-buffer slot.
+// shuffleInit starts the shuffle for cycle c into sub-buffer slot. The
+// returned state is the slot's recycled shuffle struct: it stays valid
+// until the next shuffleInit on the same slot, which every algorithm
+// orders after this shuffle's completion.
 func (ex *exec) shuffleInit(c, slot int) *shuffle {
 	t0 := ex.r.Now()
-	sh := &shuffle{cycle: c, slot: slot, initAt: t0}
+	sh := &ex.shState[slot]
+	sh.cycle, sh.slot, sh.initAt = c, slot, t0
+	sh.reqs = sh.reqs[:0]
+	sh.staged = sh.staged[:0]
+	sh.unpackBytes = 0
+	ex.stageUsed[slot] = 0
 	if p := ex.opts.Probe; p != nil {
 		// Cycle boundary: the per-cycle size exchange below is the
 		// de-facto global synchronisation that frames each cycle.
@@ -249,24 +284,28 @@ func (ex *exec) shuffleInit(c, slot int) *shuffle {
 }
 
 // cycleOrigins lists the world ranks sending into this aggregator's
-// window in cycle c.
+// window in cycle c. The result aliases a scratch buffer that the next
+// cycleOrigins/cycleTargets call reuses (WinPost/WinStart copy their
+// group arguments).
 func (ex *exec) cycleOrigins(c int) []int {
-	ops := ex.p.recvs[ex.aggIdx][c]
-	out := make([]int, len(ops))
-	for i, ro := range ops {
-		out[i] = ro.src
+	ops := ex.p.recvsAt(ex.aggIdx, c)
+	out := ex.peersBuf[:0]
+	for i := range ops {
+		out = append(out, int(ops[i].src))
 	}
+	ex.peersBuf = out
 	return out
 }
 
 // cycleTargets lists the aggregator world ranks this rank sends to in
-// cycle c.
+// cycle c (same scratch-aliasing contract as cycleOrigins).
 func (ex *exec) cycleTargets(c int) []int {
-	ops := ex.p.sends[ex.r.ID()][c]
-	out := make([]int, len(ops))
-	for i, so := range ops {
-		out[i] = ex.p.aggRanks[so.agg]
+	ops := ex.p.sendsAt(ex.r.ID(), c)
+	out := ex.peersBuf[:0]
+	for i := range ops {
+		out = append(out, ex.p.aggRanks[ops[i].agg])
 	}
+	ex.peersBuf = out
 	return out
 }
 
@@ -305,36 +344,44 @@ func (ex *exec) shuffleBlocking(c, slot int) {
 // twoSidedInit posts the aggregator receives (first, so eager traffic
 // matches pre-posted buffers where possible) and then packs and sends
 // this rank's contributions.
+//
+// Symbolic fast path: without real bytes there is nothing to stage or
+// scatter, so fragmented receives only accumulate the unpack charge —
+// no staged bookkeeping, no buffers. The virtual-time cost is identical
+// in both modes (TestDataSymbolicEquivalence).
 func (ex *exec) twoSidedInit(sh *shuffle) {
 	r := ex.r
 	tag := ex.opts.TagBase + sh.cycle
 	if ex.aggIdx >= 0 {
-		for _, ro := range ex.p.recvs[ex.aggIdx][sh.cycle] {
+		recvs := ex.p.recvsAt(ex.aggIdx, sh.cycle)
+		for i := range recvs {
+			ro := &recvs[i]
 			var buf []byte
-			if len(ro.segs) == 1 {
+			if ro.nseg == 1 {
 				// Single contiguous target range: receive in place.
 				if ex.dataMode {
-					s := ro.segs[0]
+					s := ex.p.rsegsOf(ro)[0]
 					buf = ex.bufs[sh.slot][s.off : s.off+s.len]
 				}
 			} else {
 				if ex.dataMode {
-					buf = make([]byte, ro.total)
+					buf = ex.stageAlloc(sh.slot, ro.total)
+					sh.staged = append(sh.staged, stagedRecv{buf: buf, op: *ro})
 				}
-				sh.staged = append(sh.staged, stagedRecv{buf: buf, op: ro})
 				sh.unpackBytes += ro.total
 			}
-			sh.reqs = append(sh.reqs, r.Irecv(ro.src, tag, ro.total, buf))
+			sh.reqs = append(sh.reqs, r.Irecv(int(ro.src), tag, ro.total, buf))
 		}
 	}
-	for _, so := range ex.p.sends[r.ID()][sh.cycle] {
+	sends := ex.p.sendsAt(r.ID(), sh.cycle)
+	for i := range sends {
+		so := &sends[i]
 		var pl mpi.Payload
 		if ex.dataMode {
-			packed := ex.pack(so)
-			pl = mpi.Bytes(packed)
+			pl = mpi.Bytes(ex.pack(so))
 		} else {
 			pl = mpi.Symbolic(so.total)
-			if len(so.segs) > 1 {
+			if so.nseg > 1 {
 				ex.chargeCopy(so.total) // pack cost in symbolic mode too
 			}
 		}
@@ -345,16 +392,20 @@ func (ex *exec) twoSidedInit(sh *shuffle) {
 
 // pack gathers a sendOp's segments from the local data buffer into one
 // contiguous message, charging the copy when the data is fragmented.
-func (ex *exec) pack(so sendOp) []byte {
+// The fragmented result aliases ex.packBuf, reusable as soon as Isend
+// returns (Isend snapshots data payloads).
+func (ex *exec) pack(so *sendOp) []byte {
 	data := ex.jv.Ranks[ex.r.ID()].Data
-	if len(so.segs) == 1 {
-		s := so.segs[0]
+	segs := ex.p.segsOf(so)
+	if len(segs) == 1 {
+		s := segs[0]
 		return data[s.off : s.off+s.len] // contiguous: zero-copy send
 	}
-	out := make([]byte, 0, so.total)
-	for _, s := range so.segs {
+	out := ex.packBuf[:0]
+	for _, s := range segs {
 		out = append(out, data[s.off:s.off+s.len]...)
 	}
+	ex.packBuf = out
 	ex.chargeCopy(so.total)
 	return out
 }
@@ -363,18 +414,17 @@ func (ex *exec) pack(so sendOp) []byte {
 // copies. Receives with a single target range landed in place.
 //
 // The staged-receive layout: the packed message holds the source's
-// segments in window order, matching op.segs.
+// segments in window order, matching the op's segments.
 func (ex *exec) unpack(sh *shuffle) {
 	if sh.unpackBytes == 0 {
 		return
 	}
-	if ex.dataMode {
-		for _, st := range sh.staged {
-			var src int64
-			for _, s := range st.op.segs {
-				copy(ex.bufs[sh.slot][s.off:s.off+s.len], st.buf[src:src+s.len])
-				src += s.len
-			}
+	for i := range sh.staged {
+		st := &sh.staged[i]
+		var src int64
+		for _, s := range ex.p.rsegsOf(&st.op) {
+			copy(ex.bufs[sh.slot][s.off:s.off+s.len], st.buf[src:src+s.len])
+			src += s.len
 		}
 	}
 	ex.chargeCopy(sh.unpackBytes)
@@ -385,12 +435,15 @@ func (ex *exec) unpack(sh *shuffle) {
 func (ex *exec) putAll(sh *shuffle) {
 	r := ex.r
 	data := ex.jv.Ranks[r.ID()].Data
-	for _, so := range ex.p.sends[r.ID()][sh.cycle] {
+	sends := ex.p.sendsAt(r.ID(), sh.cycle)
+	for i := range sends {
+		so := &sends[i]
 		tgt := ex.p.aggRanks[so.agg]
-		for i, ws := range so.wsegs {
+		segs, wsegs := ex.p.segsOf(so), ex.p.wsegsOf(so)
+		for j, ws := range wsegs {
 			var pl mpi.Payload
 			if ex.dataMode {
-				s := so.segs[i]
+				s := segs[j]
 				pl = mpi.Bytes(data[s.off : s.off+s.len])
 			} else {
 				pl = mpi.Symbolic(ws.len)
@@ -406,13 +459,16 @@ func (ex *exec) putAll(sh *shuffle) {
 func (ex *exec) lockPutUnlockAll(sh *shuffle) {
 	r := ex.r
 	data := ex.jv.Ranks[r.ID()].Data
-	for _, so := range ex.p.sends[r.ID()][sh.cycle] {
+	sends := ex.p.sendsAt(r.ID(), sh.cycle)
+	for i := range sends {
+		so := &sends[i]
 		tgt := ex.p.aggRanks[so.agg]
 		r.WinLock(ex.wins[sh.slot], mpi.LockShared, tgt)
-		for i, ws := range so.wsegs {
+		segs, wsegs := ex.p.segsOf(so), ex.p.wsegsOf(so)
+		for j, ws := range wsegs {
 			var pl mpi.Payload
 			if ex.dataMode {
-				s := so.segs[i]
+				s := segs[j]
 				pl = mpi.Bytes(data[s.off : s.off+s.len])
 			} else {
 				pl = mpi.Symbolic(ws.len)

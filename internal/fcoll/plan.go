@@ -2,6 +2,7 @@ package fcoll
 
 import (
 	"fmt"
+	"math"
 
 	"collio/internal/datatype"
 	"collio/internal/mpi"
@@ -14,27 +15,40 @@ type seg struct {
 	off, len int64
 }
 
-// sendOp is one rank's traffic to one aggregator in one cycle. Segments
-// are in file order; winSegs mirror segs with window-relative offsets so
+// sendOp is one rank's traffic to one aggregator in one cycle. Its
+// segments live in the plan's shared arenas at [seg0, seg0+nseg):
+// plan.sendSegs holds file-order offsets into the origin's local buffer
+// and plan.sendWsegs mirrors them with window-relative offsets so
 // one-sided primitives can Put each contiguous target range directly.
+// Resolve with plan.segsOf / plan.wsegsOf.
 type sendOp struct {
-	agg   int // aggregator index (into plan.aggRanks)
+	agg   int32 // aggregator index (into plan.aggRanks)
+	seg0  int32
+	nseg  int32
 	total int64
-	segs  []seg // offsets into the origin's local buffer
-	wsegs []seg // offsets into the aggregator's cycle window
 }
 
 // recvOp is an aggregator's inbound traffic from one source rank in one
-// cycle. Segments carry window-relative offsets.
+// cycle. Its segments (window-relative offsets) live in plan.recvSegs
+// at [seg0, seg0+nseg); resolve with plan.rsegsOf.
 type recvOp struct {
-	src   int
+	src   int32
+	seg0  int32
+	nseg  int32
 	total int64
-	segs  []seg
 }
 
 // plan is the fully-resolved two-phase schedule: identical on every
 // rank (as in vulcan, where the flattened views are exchanged up
 // front).
+//
+// The schedule is stored CSR-style in flat arenas rather than nested
+// [][][]op slices: ops for bucket (rank r, cycle c) are
+// sendOps[sendIdx[b]:sendIdx[b+1]] with b = r*ncycles+c (recvs index by
+// aggregator instead of rank), and each op's segments are one
+// contiguous run of the shared seg arenas. A plan for np ranks and nc
+// cycles costs O(1) allocations instead of O(np*nc), and iteration
+// walks dense arrays.
 type plan struct {
 	layout     DomainLayout
 	start, end int64
@@ -43,10 +57,32 @@ type plan struct {
 	aggSpan    int64             // contiguous layout: uniform domain size
 	window     int64             // bytes flushed per cycle per aggregator
 	ncycles    int               // global cycle count (max over aggregators)
+	np         int
 
-	sends [][][]sendOp // [rank][cycle] -> ops
-	recvs [][][]recvOp // [aggIdx][cycle] -> ops
+	sendOps   []sendOp
+	sendIdx   []int32 // len np*ncycles+1
+	sendSegs  []seg   // per-segment origin-buffer offsets
+	sendWsegs []seg   // parallel to sendSegs: window-relative offsets
+	recvOps   []recvOp
+	recvIdx   []int32 // len len(aggRanks)*ncycles+1
+	recvSegs  []seg
 }
+
+// sendsAt returns rank r's outbound ops for cycle c.
+func (p *plan) sendsAt(r, c int) []sendOp {
+	b := r*p.ncycles + c
+	return p.sendOps[p.sendIdx[b]:p.sendIdx[b+1]]
+}
+
+// recvsAt returns aggregator a's inbound ops for cycle c.
+func (p *plan) recvsAt(a, c int) []recvOp {
+	b := a*p.ncycles + c
+	return p.recvOps[p.recvIdx[b]:p.recvIdx[b+1]]
+}
+
+func (p *plan) segsOf(so *sendOp) []seg  { return p.sendSegs[so.seg0 : so.seg0+int32(so.nseg)] }
+func (p *plan) wsegsOf(so *sendOp) []seg { return p.sendWsegs[so.seg0 : so.seg0+int32(so.nseg)] }
+func (p *plan) rsegsOf(ro *recvOp) []seg { return p.recvSegs[ro.seg0 : ro.seg0+int32(ro.nseg)] }
 
 // aggregatorRanks selects the aggregator set: count 0 means one per
 // occupied compute node (the first rank of each node), mirroring the
@@ -95,6 +131,7 @@ func buildPlan(jv *JobView, w *mpi.World, window int64, aggregators int, layout 
 		end:      end,
 		aggRanks: aggRanks,
 		window:   window,
+		np:       w.Size(),
 	}
 	switch layout {
 	case RoundRobinWindows:
@@ -156,75 +193,134 @@ func buildPlan(jv *JobView, w *mpi.World, window int64, aggregators int, layout 
 		}
 	}
 
-	np := w.Size()
-	p.sends = make([][][]sendOp, np)
-	for r := range p.sends {
-		p.sends[r] = make([][]sendOp, p.ncycles)
-	}
-	p.recvs = make([][][]recvOp, na)
-	for a := range p.recvs {
-		p.recvs[a] = make([][]recvOp, p.ncycles)
-	}
+	np := p.np
+	nc := p.ncycles
 
-	findSend := func(ops []sendOp, agg int) int {
-		for i := range ops {
-			if ops[i].agg == agg {
-				return i
-			}
-		}
-		return -1
-	}
-	findRecv := func(ops []recvOp, src int) int {
-		for i := range ops {
-			if ops[i].src == src {
-				return i
-			}
-		}
-		return -1
-	}
-
-	for r := 0; r < np; r++ {
-		var srcOff int64
-		for _, e := range jv.Ranks[r].Extents {
-			off, remaining := e.Off, e.Len
-			for remaining > 0 {
-				a, c, winStart, winEnd := locate(off)
-				n := winEnd - off
-				if n > remaining {
-					n = remaining
+	// walk enumerates every contiguous (source range, window range) chunk
+	// of the schedule, in the canonical order: rank-major, then that
+	// rank's extents in view order, each split at window boundaries.
+	walk := func(visit func(r int, srcOff, n, winOff int64, a, c int)) {
+		for r := 0; r < np; r++ {
+			var srcOff int64
+			for _, e := range jv.Ranks[r].Extents {
+				off, remaining := e.Off, e.Len
+				for remaining > 0 {
+					a, c, winStart, winEnd := locate(off)
+					n := winEnd - off
+					if n > remaining {
+						n = remaining
+					}
+					if n <= 0 {
+						panic(fmt.Sprintf("fcoll: planner stuck at off=%d win=[%d,%d) cycle=%d", off, winStart, winEnd, c))
+					}
+					visit(r, srcOff, n, off-winStart, a, c)
+					srcOff += n
+					off += n
+					remaining -= n
 				}
-				if n <= 0 {
-					panic(fmt.Sprintf("fcoll: planner stuck at off=%d win=[%d,%d) cycle=%d", off, winStart, winEnd, c))
-				}
-				winOff := off - winStart
-
-				ops := p.sends[r][c]
-				i := findSend(ops, a)
-				if i < 0 {
-					p.sends[r][c] = append(ops, sendOp{agg: a})
-					i = len(p.sends[r][c]) - 1
-				}
-				so := &p.sends[r][c][i]
-				so.total += n
-				so.segs = append(so.segs, seg{srcOff, n})
-				so.wsegs = append(so.wsegs, seg{winOff, n})
-
-				rops := p.recvs[a][c]
-				j := findRecv(rops, r)
-				if j < 0 {
-					p.recvs[a][c] = append(rops, recvOp{src: r})
-					j = len(p.recvs[a][c]) - 1
-				}
-				ro := &p.recvs[a][c][j]
-				ro.total += n
-				ro.segs = append(ro.segs, seg{winOff, n})
-
-				srcOff += n
-				off += n
-				remaining -= n
 			}
 		}
 	}
+
+	// Chunks addressed to one (peer, bucket) pair arrive as one
+	// consecutive run of the walk: within a rank's walk, file offsets per
+	// extent ascend, so both layouts revisit an (aggregator, cycle)
+	// bucket only in consecutive chunks; and a recv bucket sees its
+	// source ranks in ascending rank order. Merging a chunk into the
+	// *last* op of its bucket therefore reproduces exactly the op set a
+	// full scan-and-merge would build, which makes a counting pass
+	// possible: pass 1 sizes every bucket and arena, pass 2 fills them.
+	nsb := np * nc
+	nrb := na * nc
+	sendCnt := make([]int32, nsb)
+	recvCnt := make([]int32, nrb)
+	lastAgg := make([]int32, nsb)
+	lastSrc := make([]int32, nrb)
+	for i := range lastAgg {
+		lastAgg[i] = -1
+	}
+	for i := range lastSrc {
+		lastSrc[i] = -1
+	}
+	var chunks int64
+	walk(func(r int, _, _, _ int64, a, c int) {
+		chunks++
+		sb := r*nc + c
+		if lastAgg[sb] != int32(a) {
+			lastAgg[sb] = int32(a)
+			sendCnt[sb]++
+		}
+		rb := a*nc + c
+		if lastSrc[rb] != int32(r) {
+			lastSrc[rb] = int32(r)
+			recvCnt[rb]++
+		}
+	})
+	if chunks > math.MaxInt32 {
+		panic(fmt.Sprintf("fcoll: plan has %d chunks, exceeds int32 arena indexing", chunks))
+	}
+
+	// Prefix sums over op counts; segment arenas get one entry per chunk,
+	// laid out in walk order per bucket (sendSegCur/recvSegCur below).
+	p.sendIdx = make([]int32, nsb+1)
+	for b := 0; b < nsb; b++ {
+		p.sendIdx[b+1] = p.sendIdx[b] + sendCnt[b]
+	}
+	p.recvIdx = make([]int32, nrb+1)
+	for b := 0; b < nrb; b++ {
+		p.recvIdx[b+1] = p.recvIdx[b] + recvCnt[b]
+	}
+	p.sendOps = make([]sendOp, p.sendIdx[nsb])
+	p.recvOps = make([]recvOp, p.recvIdx[nrb])
+	p.sendSegs = make([]seg, chunks)
+	p.sendWsegs = make([]seg, chunks)
+	p.recvSegs = make([]seg, chunks)
+
+	// Pass 2: fill. Per-bucket cursors; op cursors restart from the
+	// prefix sums, segment cursors carve the arenas in first-touch bucket
+	// order (each bucket's segments stay contiguous because its chunks
+	// arrive in runs — see above).
+	sendOpCur := make([]int32, nsb)
+	copy(sendOpCur, p.sendIdx[:nsb])
+	recvOpCur := make([]int32, nrb)
+	copy(recvOpCur, p.recvIdx[:nrb])
+	for i := range lastAgg {
+		lastAgg[i] = -1
+	}
+	for i := range lastSrc {
+		lastSrc[i] = -1
+	}
+	var sendSegNext, recvSegNext int32
+	walk(func(r int, srcOff, n, winOff int64, a, c int) {
+		sb := r*nc + c
+		if lastAgg[sb] != int32(a) {
+			lastAgg[sb] = int32(a)
+			p.sendOps[sendOpCur[sb]] = sendOp{agg: int32(a), seg0: sendSegNext}
+			sendOpCur[sb]++
+		}
+		so := &p.sendOps[sendOpCur[sb]-1]
+		so.total += n
+		p.sendSegs[so.seg0+so.nseg] = seg{srcOff, n}
+		p.sendWsegs[so.seg0+so.nseg] = seg{winOff, n}
+		so.nseg++
+		if so.seg0+so.nseg > sendSegNext {
+			sendSegNext = so.seg0 + so.nseg
+		}
+
+		rb := a*nc + c
+		if lastSrc[rb] != int32(r) {
+			lastSrc[rb] = int32(r)
+			p.recvOps[recvOpCur[rb]] = recvOp{src: int32(r), seg0: recvSegNext}
+			recvOpCur[rb]++
+		}
+		ro := &p.recvOps[recvOpCur[rb]-1]
+		ro.total += n
+		p.recvSegs[ro.seg0+ro.nseg] = seg{winOff, n}
+		ro.nseg++
+		if ro.seg0+ro.nseg > recvSegNext {
+			recvSegNext = ro.seg0 + ro.nseg
+		}
+	})
 	jv.planCache[key] = p
 	return p
 }

@@ -10,7 +10,7 @@ import (
 	"collio/internal/simnet"
 )
 
-func planWorld(t *testing.T, nprocs, rpn int) *mpi.World {
+func planWorld(t testing.TB, nprocs, rpn int) *mpi.World {
 	t.Helper()
 	k := sim.NewKernel(1)
 	net := simnet.New(k, simnet.Config{
@@ -24,7 +24,7 @@ func planWorld(t *testing.T, nprocs, rpn int) *mpi.World {
 	return w
 }
 
-func denseRandomView(t *testing.T, nprocs int, total int64, seed int64) *JobView {
+func denseRandomView(t testing.TB, nprocs int, total int64, seed int64) *JobView {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	ranks := make([]RankView, nprocs)
@@ -63,15 +63,17 @@ func TestPlanInvariants(t *testing.T) {
 		for r := 0; r < nprocs; r++ {
 			var scheduled int64
 			for c := 0; c < p.ncycles; c++ {
-				for _, so := range p.sends[r][c] {
+				sends := p.sendsAt(r, c)
+				for i := range sends {
+					so := &sends[i]
 					var sum int64
-					for _, s := range so.segs {
+					for _, s := range p.segsOf(so) {
 						sum += s.len
 					}
 					if sum != so.total {
 						t.Fatalf("trial %d: sendOp total %d != seg sum %d", trial, so.total, sum)
 					}
-					if len(so.segs) != len(so.wsegs) {
+					if len(p.segsOf(so)) != len(p.wsegsOf(so)) {
 						t.Fatalf("trial %d: segs/wsegs length mismatch", trial)
 					}
 					scheduled += so.total
@@ -88,8 +90,9 @@ func TestPlanInvariants(t *testing.T) {
 			for c := 0; c < p.ncycles; c++ {
 				ext := p.cycleExtent(a, c)
 				var es []datatype.Extent
-				for _, ro := range p.recvs[a][c] {
-					for _, s := range ro.segs {
+				recvs := p.recvsAt(a, c)
+				for i := range recvs {
+					for _, s := range p.rsegsOf(&recvs[i]) {
 						es = append(es, datatype.Extent{Off: s.off, Len: s.len})
 					}
 				}
@@ -122,13 +125,13 @@ func TestPlanInvariants(t *testing.T) {
 		for a := range p.aggRanks {
 			for c := 0; c < p.ncycles; c++ {
 				var recvSum int64
-				for _, ro := range p.recvs[a][c] {
+				for _, ro := range p.recvsAt(a, c) {
 					recvSum += ro.total
 				}
 				var sendSum int64
 				for r := 0; r < nprocs; r++ {
-					for _, so := range p.sends[r][c] {
-						if so.agg == a {
+					for _, so := range p.sendsAt(r, c) {
+						if int(so.agg) == a {
 							sendSum += so.total
 						}
 					}
@@ -164,6 +167,194 @@ func TestPlanInvariants(t *testing.T) {
 			t.Fatalf("trial %d: cycle extents do not tile file: %v", trial, merged)
 		}
 	}
+}
+
+// refSendOp / refRecvOp / buildRefPlan reimplement the planner the way
+// it was originally written — nested per-(rank,cycle) op slices built by
+// a scan-and-merge over all ops of a bucket — as an executable spec for
+// the arena-backed builder. The flat plan must reproduce the reference
+// exactly: same ops in the same order with the same segment lists.
+type refSendOp struct {
+	agg   int
+	total int64
+	segs  []seg
+	wsegs []seg
+}
+
+type refRecvOp struct {
+	src   int
+	total int64
+	segs  []seg
+}
+
+func buildRefPlan(jv *JobView, p *plan) (sends [][][]refSendOp, recvs [][][]refRecvOp) {
+	np, na := p.np, len(p.aggRanks)
+	sends = make([][][]refSendOp, np)
+	for r := range sends {
+		sends[r] = make([][]refSendOp, p.ncycles)
+	}
+	recvs = make([][][]refRecvOp, na)
+	for a := range recvs {
+		recvs[a] = make([][]refRecvOp, p.ncycles)
+	}
+	locate := func(off int64) (a, c int, winEnd int64) {
+		switch p.layout {
+		case RoundRobinWindows:
+			g := (off - p.start) / p.window
+			a = int(g % int64(na))
+			c = int(g / int64(na))
+			winEnd = p.start + (g+1)*p.window
+			if winEnd > p.end {
+				winEnd = p.end
+			}
+			return
+		default:
+			rel := off - p.start
+			a = int(rel / p.aggSpan)
+			if a >= na {
+				a = na - 1
+			}
+			dom := p.domains[a]
+			c = int((off - dom.Off) / p.window)
+			winEnd = dom.Off + int64(c+1)*p.window
+			if winEnd > dom.End() {
+				winEnd = dom.End()
+			}
+			return
+		}
+	}
+	for r := 0; r < np; r++ {
+		var srcOff int64
+		for _, e := range jv.Ranks[r].Extents {
+			off, remaining := e.Off, e.Len
+			for remaining > 0 {
+				a, c, winEnd := locate(off)
+				n := winEnd - off
+				if n > remaining {
+					n = remaining
+				}
+				var winStart int64
+				switch p.layout {
+				case RoundRobinWindows:
+					g := (off - p.start) / p.window
+					winStart = p.start + g*p.window
+				default:
+					dom := p.domains[a]
+					winStart = dom.Off + int64(c)*p.window
+				}
+				winOff := off - winStart
+
+				i := -1
+				for k := range sends[r][c] {
+					if sends[r][c][k].agg == a {
+						i = k
+						break
+					}
+				}
+				if i < 0 {
+					sends[r][c] = append(sends[r][c], refSendOp{agg: a})
+					i = len(sends[r][c]) - 1
+				}
+				so := &sends[r][c][i]
+				so.total += n
+				so.segs = append(so.segs, seg{srcOff, n})
+				so.wsegs = append(so.wsegs, seg{winOff, n})
+
+				j := -1
+				for k := range recvs[a][c] {
+					if recvs[a][c][k].src == r {
+						j = k
+						break
+					}
+				}
+				if j < 0 {
+					recvs[a][c] = append(recvs[a][c], refRecvOp{src: r})
+					j = len(recvs[a][c]) - 1
+				}
+				ro := &recvs[a][c][j]
+				ro.total += n
+				ro.segs = append(ro.segs, seg{winOff, n})
+
+				srcOff += n
+				off += n
+				remaining -= n
+			}
+		}
+	}
+	return sends, recvs
+}
+
+// TestPlanMatchesReference cross-checks the arena-backed planner against
+// the scan-and-merge reference on random dense views: op order, op
+// contents and segment lists must be identical. This is the structural
+// half of the digest-invariance guarantee (the behavioural half is
+// exp.TestPinnedTraceDigests).
+func TestPlanMatchesReference(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		nprocs := 2 + trial%7
+		rpn := 1 + trial%3
+		w := planWorld(t, nprocs, rpn)
+		total := int64(15_000 + trial*6_271)
+		jv := denseRandomView(t, nprocs, total, int64(100+trial))
+		window := int64(1<<10 + trial*433)
+		p := buildPlan(jv, w, window, 0, DomainLayout(trial%2))
+		refSends, refRecvs := buildRefPlan(jv, p)
+
+		for r := 0; r < nprocs; r++ {
+			for c := 0; c < p.ncycles; c++ {
+				got := p.sendsAt(r, c)
+				want := refSends[r][c]
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: rank %d cycle %d: %d send ops, reference %d",
+						trial, r, c, len(got), len(want))
+				}
+				for i := range got {
+					so, ref := &got[i], &want[i]
+					if int(so.agg) != ref.agg || so.total != ref.total {
+						t.Fatalf("trial %d: send op (%d,%d,%d) = {agg %d total %d}, reference {agg %d total %d}",
+							trial, r, c, i, so.agg, so.total, ref.agg, ref.total)
+					}
+					if !segsEqual(p.segsOf(so), ref.segs) || !segsEqual(p.wsegsOf(so), ref.wsegs) {
+						t.Fatalf("trial %d: send op (%d,%d,%d) segment mismatch:\n got %v / %v\nwant %v / %v",
+							trial, r, c, i, p.segsOf(so), p.wsegsOf(so), ref.segs, ref.wsegs)
+					}
+				}
+			}
+		}
+		for a := range p.aggRanks {
+			for c := 0; c < p.ncycles; c++ {
+				got := p.recvsAt(a, c)
+				want := refRecvs[a][c]
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: agg %d cycle %d: %d recv ops, reference %d",
+						trial, a, c, len(got), len(want))
+				}
+				for i := range got {
+					ro, ref := &got[i], &want[i]
+					if int(ro.src) != ref.src || ro.total != ref.total {
+						t.Fatalf("trial %d: recv op (%d,%d,%d) = {src %d total %d}, reference {src %d total %d}",
+							trial, a, c, i, ro.src, ro.total, ref.src, ref.total)
+					}
+					if !segsEqual(p.rsegsOf(ro), ref.segs) {
+						t.Fatalf("trial %d: recv op (%d,%d,%d) segment mismatch: got %v want %v",
+							trial, a, c, i, p.rsegsOf(ro), ref.segs)
+					}
+				}
+			}
+		}
+	}
+}
+
+func segsEqual(a, b []seg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestAggregatorSelection(t *testing.T) {

@@ -80,6 +80,7 @@ func RunRead(r *mpi.Rank, jv *JobView, file Reader, opts Options) (Result, error
 }
 
 // readExec is the per-rank execution state of one collective read.
+// Scratch fields mirror exec's: grow-only, recycled across cycles.
 type readExec struct {
 	r        *mpi.Rank
 	jv       *JobView
@@ -91,6 +92,11 @@ type readExec struct {
 	slots    int
 	bufs     [2][]byte
 	res      Result
+
+	scState   [2]scatter // per-slot scatter state, reused across cycles
+	stageBuf  [2][]byte  // per-slot staged-receive arenas (data mode)
+	stageUsed [2]int64
+	packBuf   []byte // packWindow scratch; reusable because Isend snapshots
 }
 
 func (ex *readExec) setup() {
@@ -124,6 +130,18 @@ func (ex *readExec) chargeCopy(n int64) {
 	}
 	fut := ex.r.World().Network().Memcpy(ex.r.Node(), n)
 	ex.r.WaitFutures(fut)
+}
+
+// stageAlloc mirrors exec.stageAlloc for the scatter's staged receives.
+func (ex *readExec) stageAlloc(slot int, n int64) []byte {
+	u := ex.stageUsed[slot]
+	if int64(len(ex.stageBuf[slot]))-u < n {
+		grown := int64(len(ex.stageBuf[slot]))*2 + n
+		ex.stageBuf[slot] = make([]byte, grown)
+		u = 0
+	}
+	ex.stageUsed[slot] = u + n
+	return ex.stageBuf[slot][u : u+n : u+n]
 }
 
 // probePhase / syncSpan mirror the write path's probe instrumentation.
@@ -226,10 +244,19 @@ type scatterRecv struct {
 
 // scatterInit posts this rank's receives for its view pieces of cycle c
 // and, on aggregators, packs and sends each destination's data out of
-// the sub-buffer.
+// the sub-buffer. The returned state is the slot's recycled scatter
+// struct, valid until the next scatterInit on the same slot.
+//
+// Symbolic fast path: as in twoSidedInit, fragmented receives without
+// real bytes only accumulate the unpack charge.
 func (ex *readExec) scatterInit(c, slot int) *scatter {
 	t0 := ex.r.Now()
-	sc := &scatter{cycle: c, slot: slot, initAt: t0}
+	sc := &ex.scState[slot]
+	sc.cycle, sc.slot, sc.initAt = c, slot, t0
+	sc.reqs = sc.reqs[:0]
+	sc.staged = sc.staged[:0]
+	sc.unpackBytes = 0
+	ex.stageUsed[slot] = 0
 	r := ex.r
 	if p := ex.opts.Probe; p != nil {
 		p.Emit(probe.Event{
@@ -242,35 +269,41 @@ func (ex *readExec) scatterInit(c, slot int) *scatter {
 
 	// Receive side: every rank's sends-map describes what it gets back.
 	myData := ex.jv.Ranks[r.ID()].Data
-	for _, so := range ex.p.sends[r.ID()][c] {
+	sends := ex.p.sendsAt(r.ID(), c)
+	for i := range sends {
+		so := &sends[i]
 		var buf []byte
-		if len(so.segs) == 1 {
+		if so.nseg == 1 {
 			if ex.dataMode && myData != nil {
-				s := so.segs[0]
+				s := ex.p.segsOf(so)[0]
 				buf = myData[s.off : s.off+s.len]
 			}
 		} else {
-			if ex.dataMode && myData != nil {
-				buf = make([]byte, so.total)
+			if ex.dataMode {
+				if myData != nil {
+					buf = ex.stageAlloc(slot, so.total)
+				}
+				sc.staged = append(sc.staged, scatterRecv{buf: buf, op: *so})
 			}
-			sc.staged = append(sc.staged, scatterRecv{buf: buf, op: so})
 			sc.unpackBytes += so.total
 		}
 		sc.reqs = append(sc.reqs, r.Irecv(ex.p.aggRanks[so.agg], tag, so.total, buf))
 	}
 	// Send side (aggregators): pack each destination's window segments.
 	if ex.aggIdx >= 0 {
-		for _, ro := range ex.p.recvs[ex.aggIdx][c] {
+		recvs := ex.p.recvsAt(ex.aggIdx, c)
+		for i := range recvs {
+			ro := &recvs[i]
 			var pl mpi.Payload
 			if ex.dataMode {
 				pl = mpi.Bytes(ex.packWindow(ro, slot))
 			} else {
 				pl = mpi.Symbolic(ro.total)
-				if len(ro.segs) > 1 {
+				if ro.nseg > 1 {
 					ex.chargeCopy(ro.total)
 				}
 			}
-			sc.reqs = append(sc.reqs, r.Isend(ro.src, tag, pl))
+			sc.reqs = append(sc.reqs, r.Isend(int(ro.src), tag, pl))
 			ex.res.BytesSent += ro.total
 		}
 	}
@@ -279,15 +312,18 @@ func (ex *readExec) scatterInit(c, slot int) *scatter {
 }
 
 // packWindow gathers a destination's segments out of the sub-buffer.
-func (ex *readExec) packWindow(ro recvOp, slot int) []byte {
-	if len(ro.segs) == 1 {
-		s := ro.segs[0]
+// The fragmented result aliases ex.packBuf (Isend snapshots it).
+func (ex *readExec) packWindow(ro *recvOp, slot int) []byte {
+	segs := ex.p.rsegsOf(ro)
+	if len(segs) == 1 {
+		s := segs[0]
 		return ex.bufs[slot][s.off : s.off+s.len]
 	}
-	out := make([]byte, 0, ro.total)
-	for _, s := range ro.segs {
+	out := ex.packBuf[:0]
+	for _, s := range segs {
 		out = append(out, ex.bufs[slot][s.off:s.off+s.len]...)
 	}
+	ex.packBuf = out
 	ex.chargeCopy(ro.total)
 	return out
 }
@@ -298,17 +334,16 @@ func (ex *readExec) scatterWait(sc *scatter) {
 	t0 := ex.r.Now()
 	ex.r.Wait(sc.reqs...)
 	if sc.unpackBytes > 0 {
-		if ex.dataMode {
-			myData := ex.jv.Ranks[ex.r.ID()].Data
-			for _, st := range sc.staged {
-				if st.buf == nil || myData == nil {
-					continue
-				}
-				var src int64
-				for _, s := range st.op.segs {
-					copy(myData[s.off:s.off+s.len], st.buf[src:src+s.len])
-					src += s.len
-				}
+		myData := ex.jv.Ranks[ex.r.ID()].Data
+		for i := range sc.staged {
+			st := &sc.staged[i]
+			if st.buf == nil || myData == nil {
+				continue
+			}
+			var src int64
+			for _, s := range ex.p.segsOf(&st.op) {
+				copy(myData[s.off:s.off+s.len], st.buf[src:src+s.len])
+				src += s.len
 			}
 		}
 		ex.chargeCopy(sc.unpackBytes)

@@ -1,0 +1,33 @@
+package mpi
+
+import "testing"
+
+// benchPingPong runs a two-rank ping-pong series per iteration. Each
+// iteration owns a fresh simulation stack (kernel, network, world), so
+// the numbers cover the whole protocol path — request pool, transfer
+// pool, matching, completion — not just steady state.
+func benchPingPong(b *testing.B, size int64) {
+	const rounds = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k, w := testWorld(b, 2, 1, 1, nil)
+		w.Launch(func(r *Rank) {
+			for j := 0; j < rounds; j++ {
+				if r.ID() == 0 {
+					r.Send(1, 0, Symbolic(size))
+					r.Recv(1, 1, size, nil)
+				} else {
+					r.Recv(0, 0, size, nil)
+					r.Send(0, 1, Symbolic(size))
+				}
+			}
+		})
+		k.Run()
+	}
+}
+
+// 32 KiB: below the 512 KiB eager limit.
+func BenchmarkEagerPingPong(b *testing.B) { benchPingPong(b, 32<<10) }
+
+// 2 MiB: rendezvous with a pipelined bulk transfer (two 1 MiB chunks).
+func BenchmarkRendezvousPingPong(b *testing.B) { benchPingPong(b, 2<<20) }

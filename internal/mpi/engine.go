@@ -45,11 +45,19 @@ type rdvChunkPkt struct {
 	st *rdvState
 }
 
-// rdvState tracks one pipelined rendezvous bulk transfer.
+// rdvState tracks one pipelined rendezvous bulk transfer. It snapshots
+// everything it needs from the send request at creation: the sender
+// completes locally (and its pooled request may be recycled by Wait) at
+// last-chunk injection, while chunk deliveries keep arriving afterwards.
+// The receive request stays live until rdvDone completes it, so holding
+// it is safe.
 type rdvState struct {
-	sreq, rreq *Request
-	next       int64 // offset of the next chunk to request
-	delivered  int64 // bytes fully arrived
+	pl        Payload     // sender payload
+	srcID     int         // sender rank id
+	sfut      *sim.Future // sender-side (local) completion
+	rreq      *Request
+	next      int64 // offset of the next chunk to request
+	delivered int64 // bytes fully arrived
 }
 
 // engine is the per-rank protocol state machine. All protocol actions on
@@ -198,7 +206,7 @@ func (e *engine) handle(pkt packet) {
 	case *rdvChunkPkt:
 		// One pipeline chunk landed; request the next (costs a handler
 		// tick of receiver-side progress).
-		e.emitProto(probe.CauseChunk, p.st.sreq.rank.id, p.st.delivered)
+		e.emitProto(probe.CauseChunk, p.st.srcID, p.st.delivered)
 		k.After(cfg.HandlerCost, func() { e.r.w.sendRdvChunk(p.st) })
 	case *rdvDonePkt:
 		// Data is already in the user buffer (RDMA); completion
@@ -245,6 +253,7 @@ func (e *engine) sendCTS(p *rtsPkt, rreq *Request) {
 	tr.Delivered.OnDone(func() {
 		src.eng.arrive(&ctsPkt{sreq: p.sreq, rreq: rreq})
 	})
+	w.net.Release(tr)
 }
 
 // startRdvData launches the rendezvous bulk transfer from the sender:
@@ -252,12 +261,12 @@ func (e *engine) sendCTS(p *rtsPkt, rreq *Request) {
 // delivery lets the receiver's progress engine request one more.
 func (e *engine) startRdvData(sreq, rreq *Request) {
 	w := e.r.w
-	st := &rdvState{sreq: sreq, rreq: rreq}
+	st := &rdvState{pl: sreq.pl, srcID: sreq.rank.id, sfut: sreq.fut, rreq: rreq}
 	depth := w.cfg.RendezvousDepth
 	if depth < 1 || w.cfg.RendezvousChunk <= 0 {
 		depth = 1
 	}
-	for i := 0; i < depth && st.next < sreq.pl.Size; i++ {
+	for i := 0; i < depth && st.next < st.pl.Size; i++ {
 		w.sendRdvChunk(st)
 	}
 }
@@ -267,7 +276,7 @@ func (e *engine) startRdvData(sreq, rreq *Request) {
 // when filling the initial window, the receiver's progress engine
 // afterwards).
 func (w *World) sendRdvChunk(st *rdvState) {
-	total := st.sreq.pl.Size
+	total := st.pl.Size
 	if st.next >= total {
 		return // transfer fully requested
 	}
@@ -277,24 +286,25 @@ func (w *World) sendRdvChunk(st *rdvState) {
 	}
 	st.next += size
 	last := st.next >= total
-	src := w.ranks[st.sreq.rank.id]
+	src := w.ranks[st.srcID]
 	dst := w.ranks[st.rreq.rank.id]
 	tr := w.net.SendFlow(st, src.node, dst.node, size)
 	if last {
 		// Local (sender) completion at last-chunk injection, as with a
 		// zero-copy rendezvous protocol.
-		tr.Injected.OnDone(st.sreq.fut.Complete)
+		tr.Injected.OnDone(st.sfut.Complete)
 	}
 	tr.Delivered.OnDone(func() {
 		st.delivered += size
 		if st.delivered >= total {
-			dst.eng.arrive(&rdvDonePkt{rreq: st.rreq, pl: st.sreq.pl})
+			dst.eng.arrive(&rdvDonePkt{rreq: st.rreq, pl: st.pl})
 			return
 		}
 		if !last {
 			dst.eng.arrive(&rdvChunkPkt{st: st})
 		}
 	})
+	w.net.Release(tr)
 }
 
 // postRecv registers a receive request, first searching the unexpected

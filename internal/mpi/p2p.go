@@ -8,23 +8,29 @@ import (
 )
 
 // Request is a non-blocking operation handle, the analogue of
-// MPI_Request.
+// MPI_Request. Handles are pooled on the World's free list: Wait
+// recycles every request passed to it, so a request must not be used
+// after it has been waited on (MPI_Request semantics — the handle is
+// set to MPI_REQUEST_NULL by MPI_Wait). Use Recv's return value, or
+// Received before Wait, for the received byte count.
 type Request struct {
 	fut   *sim.Future
 	rank  *Rank // owning rank
 	recv  bool
 	peer  int // source for receives, destination for sends
 	tag   int
-	pl    Payload // send payload
-	buf   []byte  // receive destination (nil in symbolic mode)
-	size  int64   // receive capacity
-	recvd int64   // bytes actually received
+	pl    Payload  // send payload
+	buf   []byte   // receive destination (nil in symbolic mode)
+	size  int64    // receive capacity
+	recvd int64    // bytes actually received
+	next  *Request // free-list link, nil while the request is live
 }
 
 // Done reports whether the operation has completed.
 func (q *Request) Done() bool { return q.fut.Done() }
 
-// Received returns the number of bytes received (receives only).
+// Received returns the number of bytes received (receives only). Only
+// valid before the request is recycled by Wait.
 func (q *Request) Received() int64 { return q.recvd }
 
 // Future exposes the underlying completion, for WaitAny-style dataflow
@@ -54,7 +60,12 @@ func (r *Rank) Isend(dst, tag int, pl Payload) *Request {
 		// charged explicitly by the callers.)
 		pl = Bytes(append([]byte(nil), pl.Data...))
 	}
-	req := &Request{fut: r.w.k.NewFuture(), rank: r, peer: dst, tag: tag, pl: pl}
+	req := r.w.newRequest()
+	req.fut = r.w.k.NewFuture()
+	req.rank = r
+	req.peer = dst
+	req.tag = tag
+	req.pl = pl
 	dstRank := r.w.ranks[dst]
 	if p := r.w.probe; p != nil {
 		path, msgCtr, byteCtr := probe.CauseEager, probe.CtrMPIEagerMsgs, probe.CtrMPIEagerBytes
@@ -74,11 +85,13 @@ func (r *Rank) Isend(dst, tag int, pl Payload) *Request {
 		tr.Delivered.OnDone(func() {
 			dstRank.eng.arrive(&eagerPkt{src: r.id, tag: tag, pl: pl})
 		})
+		r.w.net.Release(tr)
 	} else {
 		tr := r.w.net.Send(r.node, dstRank.node, cfg.CtrlBytes)
 		tr.Delivered.OnDone(func() {
 			dstRank.eng.arrive(&rtsPkt{src: r.id, tag: tag, size: pl.Size, sreq: req})
 		})
+		r.w.net.Release(tr)
 	}
 	return req
 }
@@ -97,7 +110,14 @@ func (r *Rank) Irecv(src, tag int, size int64, buf []byte) *Request {
 	e.enter()
 	defer e.exit()
 	cfg := &r.w.cfg
-	req := &Request{fut: r.w.k.NewFuture(), rank: r, recv: true, peer: src, tag: tag, size: size, buf: buf}
+	req := r.w.newRequest()
+	req.fut = r.w.k.NewFuture()
+	req.rank = r
+	req.recv = true
+	req.peer = src
+	req.tag = tag
+	req.size = size
+	req.buf = buf
 	if p := r.w.probe; p != nil {
 		p.Emit(probe.Event{
 			At: r.Now(), Layer: probe.LayerMPI, Kind: probe.KindIrecv,
@@ -111,7 +131,9 @@ func (r *Rank) Irecv(src, tag int, size int64, buf []byte) *Request {
 
 // Wait blocks until every request has completed. The rank is inside the
 // MPI library for the duration, so protocol progress (matching,
-// rendezvous handshakes) continues while it waits.
+// rendezvous handshakes) continues while it waits. Each request is
+// recycled onto the World's free list as its wait finishes; callers
+// must not touch a request after Wait returns.
 func (r *Rank) Wait(reqs ...*Request) {
 	e := r.eng
 	e.enter()
@@ -122,6 +144,7 @@ func (r *Rank) Wait(reqs ...*Request) {
 			continue
 		}
 		r.p.Wait(q.fut)
+		r.w.releaseRequest(q)
 	}
 }
 
@@ -170,9 +193,16 @@ func (r *Rank) Send(dst, tag int, pl Payload) {
 }
 
 // Recv is a blocking receive (Irecv + Wait); it returns the number of
-// bytes received.
+// bytes received. The byte count is read before the request handle is
+// recycled.
 func (r *Rank) Recv(src, tag int, size int64, buf []byte) int64 {
 	q := r.Irecv(src, tag, size, buf)
-	r.Wait(q)
-	return q.recvd
+	e := r.eng
+	e.enter()
+	defer e.exit()
+	defer r.waitSpan()()
+	r.p.Wait(q.fut)
+	n := q.recvd
+	r.w.releaseRequest(q)
+	return n
 }

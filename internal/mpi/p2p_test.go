@@ -9,7 +9,7 @@ import (
 )
 
 // testWorld builds a small world; ranksPerNode controls placement.
-func testWorld(t *testing.T, nprocs, ranksPerNode int, seed int64, mut func(*Config)) (*sim.Kernel, *World) {
+func testWorld(t testing.TB, nprocs, ranksPerNode int, seed int64, mut func(*Config)) (*sim.Kernel, *World) {
 	t.Helper()
 	k := sim.NewKernel(seed)
 	nodes := (nprocs + ranksPerNode - 1) / ranksPerNode

@@ -141,6 +141,7 @@ func (r *Rank) Put(win *Window, target int, offset int64, pl Payload) {
 		})
 		done = am
 	}
+	r.w.net.Release(tr)
 	win.outstanding[r.id] = append(win.outstanding[r.id], done)
 	win.perTarget[r.id][target] = append(win.perTarget[r.id][target], done)
 }
@@ -203,6 +204,7 @@ func (r *Rank) WinLock(win *Window, typ LockType, target int) {
 			win.lockRequest(typ, r.id, target, fut)
 		})
 	})
+	w.net.Release(req)
 	r.p.Wait(fut) // completes when the grant reply arrives at the origin
 	win.heldLocks[r.id][target] = true
 }
@@ -228,6 +230,7 @@ func (win *Window) grant(typ LockType, origin, target int, fut *sim.Future) {
 	w := win.w
 	reply := w.net.Send(w.ranks[target].node, w.ranks[origin].node, w.cfg.CtrlBytes)
 	reply.Delivered.OnDone(fut.Complete)
+	w.net.Release(reply)
 }
 
 // WinUnlock releases the lock on target after forcing remote completion
@@ -268,8 +271,10 @@ func (r *Rank) WinUnlock(win *Window, target int) {
 			win.release(r.id, target)
 			reply := w.net.Send(tgt.node, r.node, w.cfg.CtrlBytes)
 			reply.Delivered.OnDone(ack.Complete)
+			w.net.Release(reply)
 		})
 	})
+	w.net.Release(msg)
 	r.p.Wait(ack)
 }
 

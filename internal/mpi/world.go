@@ -127,6 +127,38 @@ type World struct {
 	finishAt sim.Time
 	started  bool
 	probe    *probe.Probe
+
+	// freeReqs is a free list of recycled Request objects, mirroring the
+	// sim.Server request pool: the point-to-point layer turns over one
+	// request per operation, and at multi-thousand-rank scale those
+	// allocations dominate the model-layer heap churn. Requests return
+	// to the list in Wait (after their future has completed). Rank
+	// goroutines are serialised by the simulation kernel, so the list
+	// needs no locking — the same discipline as sim.Server.freeReqs.
+	freeReqs *Request
+}
+
+// newRequest takes a zeroed request from the free list (or allocates
+// one). The caller fills in the operation fields, including a fresh
+// future.
+func (w *World) newRequest() *Request {
+	q := w.freeReqs
+	if q == nil {
+		return &Request{}
+	}
+	w.freeReqs = q.next
+	*q = Request{}
+	return q
+}
+
+// releaseRequest clears a request's references and returns it to the
+// free list. Callers guarantee the protocol engine holds no live
+// reference: sends are only released after local completion (and the
+// rendezvous path snapshots what it needs into rdvState), receives only
+// after delivery.
+func (w *World) releaseRequest(q *Request) {
+	*q = Request{next: w.freeReqs}
+	w.freeReqs = q
 }
 
 // NewWorld creates the rank set. Ranks do not run until Launch.

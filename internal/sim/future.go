@@ -9,12 +9,21 @@ package sim
 // Futures carry an optional error and an optional completion time, which
 // lets callers measure when the underlying operation actually finished
 // even if they wait much later.
+// The first waiter and the first callback are stored inline: nearly
+// every future in the protocol stack has exactly one of each (the
+// issuing rank waits, one completion callback fires), and growing a
+// slice from nil for that single entry was the single largest
+// allocation source in end-to-end profiles. The slices exist only for
+// the overflow case; completion order is slot first, then slice — the
+// same registration order as before.
 type Future struct {
 	k        *Kernel
 	done     bool
 	err      error
 	doneAt   Time
+	waiter0  *Proc
 	waiters  []*Proc
+	onDone0  func()
 	onDone   []func()
 	hasValue bool
 	value    interface{}
@@ -61,10 +70,18 @@ func (f *Future) complete(err error, v interface{}, hasV bool) {
 	// Waiters and callbacks are resumed via zero-delay events rather than
 	// inline, so that a process completing a future while running never
 	// results in two simultaneously-running processes.
+	if f.onDone0 != nil {
+		f.k.After(0, f.onDone0)
+		f.onDone0 = nil
+	}
 	for _, cb := range f.onDone {
 		f.k.After(0, cb)
 	}
 	f.onDone = nil
+	if f.waiter0 != nil {
+		f.k.afterDispatch(0, f.waiter0)
+		f.waiter0 = nil
+	}
 	for _, p := range f.waiters {
 		f.k.afterDispatch(0, p)
 	}
@@ -79,6 +96,10 @@ func (f *Future) OnDone(fn func()) {
 		f.k.After(0, fn)
 		return
 	}
+	if f.onDone0 == nil && len(f.onDone) == 0 {
+		f.onDone0 = fn
+		return
+	}
 	f.onDone = append(f.onDone, fn)
 }
 
@@ -86,7 +107,11 @@ func (f *Future) OnDone(fn func()) {
 // its error.
 func (p *Proc) Wait(f *Future) error {
 	if !f.done {
-		f.waiters = append(f.waiters, p)
+		if f.waiter0 == nil && len(f.waiters) == 0 {
+			f.waiter0 = p
+		} else {
+			f.waiters = append(f.waiters, p)
+		}
 		p.block()
 	}
 	return f.err

@@ -59,6 +59,14 @@ type Network struct {
 	interBytes int64
 	intraBytes int64
 	messages   int64
+
+	// freeTransfers is a free list of recycled Transfer handles,
+	// mirroring the sim.Server request pool: every message, RMA put and
+	// rendezvous chunk turns over one handle, and at multi-thousand-rank
+	// scale those allocations dominate the network layer's heap churn.
+	// Handles return via Release; callers that never release (tests,
+	// one-shot tools) simply leave their handles to the GC.
+	freeTransfers *Transfer
 }
 
 // New builds a network on kernel k from cfg.
@@ -109,11 +117,37 @@ func (n *Network) Node(i int) *Node { return n.nodes[i] }
 // has finished injecting the message (local completion, the MPI eager
 // send semantics); Delivered completes when the last byte has arrived at
 // the destination.
+//
+// Transfer handles are pooled: a caller that has registered its
+// completion callbacks may hand the handle back with Network.Release,
+// after which it must not be touched — the futures complete
+// independently of the handle's lifetime.
 type Transfer struct {
 	Injected  *sim.Future
 	Delivered *sim.Future
 	Size      int64
 	From, To  int
+	next      *Transfer // free-list link, nil while the handle is live
+}
+
+// newTransfer takes a handle from the free list (or allocates one).
+func (n *Network) newTransfer(size int64, from, to int) *Transfer {
+	tr := n.freeTransfers
+	if tr == nil {
+		return &Transfer{Size: size, From: from, To: to}
+	}
+	n.freeTransfers = tr.next
+	*tr = Transfer{Size: size, From: from, To: to}
+	return tr
+}
+
+// Release clears a transfer handle's references and returns it to the
+// free list. Callers must have extracted or registered everything they
+// need from the handle first: the futures keep completing on their own,
+// but the handle's fields may be overwritten by the next Send.
+func (n *Network) Release(tr *Transfer) {
+	*tr = Transfer{next: n.freeTransfers}
+	n.freeTransfers = tr
 }
 
 // Send moves size bytes from node `from` to node `to` and returns the
@@ -134,7 +168,7 @@ func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer
 		panic("simnet: negative transfer size")
 	}
 	n.messages++
-	tr := &Transfer{Size: size, From: from, To: to}
+	tr := n.newTransfer(size, from, to)
 	if from == to {
 		n.intraBytes += size
 		n.observeSend(tr, probe.CauseIntra, n.nodes[from].ipc)
@@ -191,16 +225,19 @@ func (n *Network) observeSend(tr *Transfer, path probe.Cause, port *sim.Server) 
 // observeDeliver registers a delivery event on the transfer's completion
 // future. The extra zero-delay callback cannot reorder pre-existing
 // kernel events (see package probe), so probing stays digest-invariant.
+// The handle may be released (and recycled) before delivery, so the
+// callback captures the fields, never the handle.
 func (n *Network) observeDeliver(tr *Transfer) {
 	p := n.probe
 	if p == nil {
 		return
 	}
 	k := n.k
+	from, to, size := tr.From, tr.To, tr.Size
 	tr.Delivered.OnDone(func() {
 		p.Emit(probe.Event{
 			At: k.Now(), Layer: probe.LayerNet, Kind: probe.KindNetDeliver,
-			Rank: tr.To, Peer: tr.From, Cycle: -1, Size: tr.Size,
+			Rank: to, Peer: from, Cycle: -1, Size: size,
 		})
 	})
 }

@@ -81,6 +81,10 @@ func (c Config) TotalBytes(nprocs int) int64 {
 	return c.BlockBytes() * int64(c.BlocksPerProc) * int64(nprocs) * int64(c.NumVars)
 }
 
+// interned deduplicates per-rank extent lists across Views calls (a
+// sweep regenerates the identical layout for every algorithm × run).
+var interned = datatype.NewInterner()
+
 // Views implements workload.Generator: NumVars collective writes. For
 // variable v, process p writes its blocks contiguously at the global
 // block offset of its partition, inside variable v's section of the
@@ -99,6 +103,7 @@ func (c Config) Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, 
 	bb := c.BlockBytes()
 
 	views := make([]*fcoll.JobView, 0, c.NumVars)
+	scratch := make([]datatype.Extent, 1)
 	for v := 0; v < c.NumVars; v++ {
 		ranks := make([]fcoll.RankView, nprocs)
 		for p := 0; p < nprocs; p++ {
@@ -107,7 +112,8 @@ func (c Config) Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, 
 			// within it. Each variable is one dense collective write.
 			off := int64(v)*totalBlocks*bb + starts[p]*bb
 			n := int64(counts[p]) * bb
-			ranks[p].Extents = []datatype.Extent{{Off: off, Len: n}}
+			scratch[0] = datatype.Extent{Off: off, Len: n}
+			ranks[p].Extents = interned.Intern(scratch)
 			if dataMode {
 				b := make([]byte, n)
 				workload.FillPattern(b, p, seed+int64(v)*7919)

@@ -38,6 +38,10 @@ func (c Config) TotalBytes(nprocs int) int64 {
 	return c.BlockSize * int64(c.Segments) * int64(nprocs)
 }
 
+// interned deduplicates per-rank extent lists across Views calls (a
+// sweep regenerates the identical layout for every algorithm × run).
+var interned = datatype.NewInterner()
+
 // Views implements workload.Generator: one collective write whose file
 // layout is segment-major, rank-minor contiguous blocks.
 func (c Config) Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, error) {
@@ -46,15 +50,16 @@ func (c Config) Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, 
 	}
 	ranks := make([]fcoll.RankView, nprocs)
 	segSpan := c.BlockSize * int64(nprocs)
+	scratch := make([]datatype.Extent, 0, c.Segments)
 	for i := 0; i < nprocs; i++ {
-		es := make([]datatype.Extent, 0, c.Segments)
+		scratch = scratch[:0]
 		for s := 0; s < c.Segments; s++ {
-			es = append(es, datatype.Extent{
+			scratch = append(scratch, datatype.Extent{
 				Off: int64(s)*segSpan + int64(i)*c.BlockSize,
 				Len: c.BlockSize,
 			})
 		}
-		ranks[i].Extents = es
+		ranks[i].Extents = interned.Intern(scratch)
 		if dataMode {
 			b := make([]byte, c.BlockSize*int64(c.Segments))
 			workload.FillPattern(b, i, seed)

@@ -73,6 +73,11 @@ func (c Config) TotalBytes(nprocs int) int64 {
 	return c.ElemSize * c.ElemsX * c.ElemsY * int64(nprocs)
 }
 
+// interned deduplicates per-rank extent lists across Views calls: a
+// sweep regenerates the identical layout for every algorithm × run, so
+// all repetitions share one canonical slice per rank.
+var interned = datatype.NewInterner()
+
 // Views implements workload.Generator: one collective write of the
 // whole 2-D dataset. The view of process (ty, tx) is an
 // MPI_Type_create_subarray of its tile within the global element grid.
@@ -83,6 +88,7 @@ func (c Config) Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, 
 	nx, ny := Grid(nprocs)
 	gx, gy := int64(nx)*c.ElemsX, int64(ny)*c.ElemsY
 	ranks := make([]fcoll.RankView, nprocs)
+	var scratch []datatype.Extent
 	for p := 0; p < nprocs; p++ {
 		tx, ty := int64(p%nx), int64(p/nx)
 		sub := datatype.Subarray(
@@ -91,7 +97,8 @@ func (c Config) Views(nprocs int, dataMode bool, seed int64) ([]*fcoll.JobView, 
 			[]int64{ty * c.ElemsY, tx * c.ElemsX},
 			c.ElemSize,
 		)
-		ranks[p].Extents = datatype.Flatten(sub, 0)
+		scratch = datatype.FlattenInto(scratch[:0], sub, 0)
+		ranks[p].Extents = interned.Intern(scratch)
 		if dataMode {
 			b := make([]byte, sub.Size())
 			workload.FillPattern(b, p, seed)
