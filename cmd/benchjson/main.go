@@ -15,6 +15,14 @@
 // narrows the gate to matching benchmark names — wall-clock noise on
 // sub-millisecond micro-benchmarks would otherwise dominate, so CI
 // gates only the long-running end-to-end ones.
+//
+// -fail-allocs-above PCT gates allocs/op the same way, under a separate
+// (much tighter) threshold: allocation counts are deterministic, so
+// unlike wall-clock they can be held to a few percent without noise
+// retries — and because they carry no noise, the allocs gate can cover
+// benchmarks far too short to gate on wall-clock. -allocs-gate REGEX
+// scopes it independently (default: the -gate regex); both gates
+// report independently.
 package main
 
 import (
@@ -30,7 +38,9 @@ import (
 func main() {
 	diffFile := flag.String("diff", "", "compare against a prior BENCH_*.json `file`; print deltas to stderr")
 	failAbove := flag.Float64("fail-above", 0, "exit non-zero when any gated ns/op delta exceeds +`pct` percent (0 disables)")
+	failAllocs := flag.Float64("fail-allocs-above", 0, "exit non-zero when any gated allocs/op delta exceeds +`pct` percent (0 disables)")
 	gate := flag.String("gate", "", "restrict -fail-above to benchmarks matching `regex` (default: all)")
+	allocsGate := flag.String("allocs-gate", "", "restrict -fail-allocs-above to benchmarks matching `regex` (default: the -gate regex)")
 	flag.Parse()
 
 	run, err := benchfmt.Parse(os.Stdin)
@@ -51,12 +61,25 @@ func main() {
 	if err := enc.Encode(run); err != nil {
 		fatal(err)
 	}
-	if *failAbove > 0 {
+	if *failAbove > 0 || *failAllocs > 0 {
 		if *diffFile == "" {
-			fatal(fmt.Errorf("-fail-above requires -diff"))
+			fatal(fmt.Errorf("-fail-above/-fail-allocs-above require -diff"))
 		}
-		if err := checkGate(deltas, *failAbove, *gate); err != nil {
-			fatal(err)
+		var gateErr error
+		if *failAbove > 0 {
+			gateErr = checkGate(deltas, "ns/op", *failAbove, *gate)
+		}
+		if *failAllocs > 0 {
+			ag := *allocsGate
+			if ag == "" {
+				ag = *gate
+			}
+			if err := checkGate(deltas, "allocs/op", *failAllocs, ag); gateErr == nil {
+				gateErr = err
+			}
+		}
+		if gateErr != nil {
+			fatal(gateErr)
 		}
 	}
 }
@@ -81,9 +104,9 @@ func printDiff(path string, run *benchfmt.Run) ([]benchfmt.Delta, error) {
 	return deltas, benchfmt.WriteDeltas(os.Stderr, deltas)
 }
 
-// checkGate fails when any gated benchmark's ns/op regressed beyond
-// +pct percent relative to the baseline.
-func checkGate(deltas []benchfmt.Delta, pct float64, gate string) error {
+// checkGate fails when any gated benchmark's metric with the given unit
+// regressed beyond +pct percent relative to the baseline.
+func checkGate(deltas []benchfmt.Delta, unit string, pct float64, gate string) error {
 	var re *regexp.Regexp
 	if gate != "" {
 		var err error
@@ -94,7 +117,7 @@ func checkGate(deltas []benchfmt.Delta, pct float64, gate string) error {
 	var bad []benchfmt.Delta
 	gated := 0
 	for _, d := range deltas {
-		if d.Unit != "ns/op" || (re != nil && !re.MatchString(d.Name)) {
+		if d.Unit != unit || (re != nil && !re.MatchString(d.Name)) {
 			continue
 		}
 		gated++
@@ -103,15 +126,15 @@ func checkGate(deltas []benchfmt.Delta, pct float64, gate string) error {
 		}
 	}
 	if gated == 0 {
-		return fmt.Errorf("gate matched no ns/op deltas (gate %q)", gate)
+		return fmt.Errorf("gate matched no %s deltas (gate %q)", unit, gate)
 	}
 	if len(bad) == 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: gate ok — %d benchmark(s) within +%g%% ns/op\n", gated, pct)
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok — %d benchmark(s) within +%g%% %s\n", gated, pct, unit)
 		return nil
 	}
-	fmt.Fprintf(os.Stderr, "\nbenchjson: ns/op regressions beyond +%g%%:\n", pct)
+	fmt.Fprintf(os.Stderr, "\nbenchjson: %s regressions beyond +%g%%:\n", unit, pct)
 	benchfmt.WriteDeltas(os.Stderr, bad)
-	return fmt.Errorf("%d benchmark(s) regressed beyond +%g%% ns/op", len(bad), pct)
+	return fmt.Errorf("%d benchmark(s) regressed beyond +%g%% %s", len(bad), pct, unit)
 }
 
 func fatal(err error) {

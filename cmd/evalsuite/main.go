@@ -14,7 +14,10 @@
 //
 // Use -full for the extended sweep (larger process counts; slow) and
 // -np to override Fig. 1 / breakdown process counts. The scale sweep
-// takes its rank counts from -ranks (default 1024,2048,4096). The
+// takes its rank counts from -ranks (default 1024,2048,4096); -jrun N
+// runs each of its simulations on the conservative parallel executor
+// with N window workers (deterministic ibex model — simulated times are
+// identical at every N, host wall-clock scales with cores). The
 // observability flags -probe, -trace-json and -report attach event
 // probes to a single instrumented run (implies the probe experiment).
 package main
@@ -46,6 +49,7 @@ func main() {
 		ranksFlag = flag.String("ranks", "", "comma-separated rank counts for the scale sweep (default 1024,2048,4096)")
 		runs      = flag.Int("runs", 3, "measurements per series")
 		jobs      = flag.Int("j", exp.DefaultParallelism(), "max simulations run in parallel (results are identical at any -j)")
+		jrun      = flag.Int("jrun", 0, "window workers inside each scale-sweep simulation (>= 1 switches to the deterministic ibex model; 0 keeps the noisy E8 sweep)")
 		probeF    = flag.Bool("probe", false, "print the probe counter registry of the instrumented run")
 		traceJSON = flag.String("trace-json", "", "write a Chrome/Perfetto trace of the instrumented run to `file`")
 		report    = flag.Bool("report", false, "print a Darshan-style I/O report of the instrumented run")
@@ -103,6 +107,7 @@ func main() {
 	if want("scale") {
 		ran = true
 		cfg := exp.DefaultScaleConfig()
+		cfg.JRun = *jrun
 		if *ranksFlag != "" {
 			cfg.RankCounts = nil
 			for _, s := range strings.Split(*ranksFlag, ",") {
@@ -129,7 +134,11 @@ func main() {
 				p.Wall.Round(time.Millisecond).String(),
 			})
 		}
-		fmt.Println(stats.RenderTable("SCALE — IOR collective write on ibex (1 MiB per rank, one run per point)", head, rows))
+		title := "SCALE — IOR collective write on ibex (1 MiB per rank, one run per point)"
+		if *jrun >= 1 {
+			title = fmt.Sprintf("SCALE — IOR collective write on deterministic ibex (1 MiB per rank, -jrun %d)", *jrun)
+		}
+		fmt.Println(stats.RenderTable(title, head, rows))
 		fmt.Println()
 	}
 

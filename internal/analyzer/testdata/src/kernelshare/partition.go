@@ -1,0 +1,54 @@
+// Fixture for the kernelshare analyzer's partition model: the
+// *sim.Partition handle is the sanctioned window-barrier ownership
+// transfer and crosses goroutines freely, but LP kernels extracted from
+// it on the wrong side of the barrier are escapes like any other.
+package kernelshare
+
+import "sim"
+
+// partitionHandleLegal: the partition handle itself may cross — its Run
+// method is the barrier protocol that transfers kernel ownership.
+func partitionHandleLegal(part *sim.Partition, done chan struct{}) {
+	go func() {
+		part.Run(4) // ok: ownership transfer happens inside Run's barriers
+		done <- struct{}{}
+	}()
+	go part.Run(2) // ok: Partition is not kernel-owned
+}
+
+// partitionMainThreadLegal: extracting LP kernels between runs on the
+// coordinating goroutine is the intended API (exp binds probe shards to
+// Partition.Kernel(i) before Run).
+func partitionMainThreadLegal(part *sim.Partition) {
+	k := part.Kernel(0)
+	_ = k
+}
+
+// partitionLocalLegal: a partition built inside the goroutine is fresh
+// and single-owner; extracting its kernels races nothing.
+func partitionLocalLegal() {
+	go func() {
+		local := &sim.Partition{}
+		_ = local.Kernel(0) // ok: goroutine-local partition
+	}()
+}
+
+// partitionExtractEscape pulls an LP kernel out of a captured partition
+// inside a goroutine, bypassing the window-barrier protocol.
+func partitionExtractEscape(part *sim.Partition) {
+	go func() {
+		k := part.Kernel(0) // want `\*sim\.Kernel extracted from a \*sim\.Partition inside a goroutine`
+		_ = k
+	}()
+}
+
+// partitionExtractArg passes an extracted LP kernel as a goroutine
+// argument — caught by the type-based argument check.
+func partitionExtractArg(part *sim.Partition) {
+	go worker(part.Kernel(1)) // want `\*sim\.Kernel passed to a goroutine`
+}
+
+// partitionExtractSend ships an extracted LP kernel across a channel.
+func partitionExtractSend(part *sim.Partition, ch chan *sim.Kernel) {
+	ch <- part.Kernel(2) // want `\*sim\.Kernel sent on a channel`
+}

@@ -37,3 +37,12 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc { return &Proc{} }
 func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	return &Proc{}
 }
+
+// Partition mirrors the conservative parallel executor's handle: the
+// sanctioned owner of per-LP kernels whose Run method transfers kernel
+// ownership to pool workers at window barriers.
+type Partition struct{ kernels []*Kernel }
+
+func (p *Partition) Kernel(lp int) *Kernel { return p.kernels[lp] }
+func (p *Partition) Run(workers int) Time  { return 0 }
+func (p *Partition) Stop()                 {}

@@ -45,6 +45,35 @@ type Spec struct {
 	// perturbing: trace digests are identical with and without one
 	// (enforced by TestProbeDigestInvariance).
 	Probe *probe.Probe
+	// JRun >= 1 runs the simulation on the conservative parallel
+	// executor with that many workers (one LP per simulated node), when
+	// the spec is Partitionable. Results are bit-identical to the
+	// sequential executor at every JRun (enforced by
+	// TestParallelRunMatchesSequential); specs the executor cannot run
+	// exactly fall back to sequential execution silently. 0 (the
+	// default) always runs sequentially.
+	JRun int
+}
+
+// Partitionable reports whether spec can run on the conservative
+// parallel executor with bit-identical results. The executor requires
+// every cross-LP interaction to be at least one lookahead of
+// deterministic latency away, which rules out: per-transfer noise
+// (draws from a shared RNG in global submission order), run-level
+// noise (kept out so a parallel-eligible model is fully
+// deterministic), rendezvous pipelining (the chunk pump round-trips
+// through the receiver's progress engine in 150 ns), one-sided
+// primitives (world-wide window state), the read path (instant
+// submission at the target), data mode and progress threads. Such
+// specs run sequentially instead — a fallback, never an approximation.
+func Partitionable(spec Spec) bool {
+	pf := spec.Platform
+	return !spec.Read && !spec.DataMode &&
+		spec.Primitive == fcoll.TwoSided &&
+		!pf.ProgressThread &&
+		pf.NetNoiseSigma == 0 && pf.StorageNoiseSigma == 0 &&
+		pf.RunNoiseNet == 0 && pf.RunNoiseStorage == 0 &&
+		pf.RendezvousChunk < 0
 }
 
 // Metrics is the outcome of one run.
@@ -78,7 +107,14 @@ func Execute(spec Spec) (Metrics, error) {
 	if bufSize == 0 {
 		bufSize = 32 << 20
 	}
-	cl, err := spec.Platform.Instantiate(spec.NProcs, spec.Seed)
+	parallel := spec.JRun >= 1 && Partitionable(spec)
+	var cl *platform.Cluster
+	var err error
+	if parallel {
+		cl, err = spec.Platform.InstantiateParallel(spec.NProcs, spec.Seed)
+	} else {
+		cl, err = spec.Platform.Instantiate(spec.NProcs, spec.Seed)
+	}
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -86,19 +122,52 @@ func Execute(spec Spec) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	if spec.Probe != nil {
+	// Instrumentation wiring. Partitioned runs give every LP a private
+	// trace/probe shard tagged with that LP kernel's canonical event
+	// key; after the run the shards fold back into spec.Trace /
+	// spec.Probe in exactly the sequential emission order.
+	var traceShards []*trace.Recorder
+	var probeShards []*probe.Probe
+	if parallel {
+		nlp := cl.Part.NKernels()
+		if spec.Trace != nil {
+			traceShards = make([]*trace.Recorder, nlp)
+			for i := range traceShards {
+				tr := trace.New()
+				tr.KeyFn = cl.Part.Kernel(i).EventStamp
+				traceShards[i] = tr
+			}
+		}
+		if spec.Probe != nil {
+			probeShards = make([]*probe.Probe, nlp)
+			for i := range probeShards {
+				p := probe.New()
+				p.KeyFn = cl.Part.Kernel(i).EventStamp
+				probeShards[i] = p
+			}
+			cl.Net.SetProbeShards(probeShards)
+			cl.World.SetProbeShards(probeShards)
+			cl.FS.SetProbeShards(probeShards)
+		}
+	} else if spec.Probe != nil {
 		cl.Net.SetProbe(spec.Probe)
 		cl.World.SetProbe(spec.Probe)
 		cl.FS.SetProbe(spec.Probe)
 	}
-	file := mpiio.Open(cl.World, cl.FS.Open(spec.Gen.Name()))
-	file.SetCollectiveOptions(fcoll.Options{
+	opts := fcoll.Options{
 		Algorithm:  spec.Algorithm,
 		Primitive:  spec.Primitive,
 		BufferSize: bufSize,
-		Trace:      spec.Trace,
-		Probe:      spec.Probe,
-	})
+	}
+	if parallel {
+		opts.TraceShards = traceShards
+		opts.ProbeShards = probeShards
+	} else {
+		opts.Trace = spec.Trace
+		opts.Probe = spec.Probe
+	}
+	file := mpiio.Open(cl.World, cl.FS.Open(spec.Gen.Name()))
+	file.SetCollectiveOptions(opts)
 	type rankOut struct {
 		res fcoll.Result
 		err error
@@ -128,7 +197,13 @@ func Execute(spec Spec) (Metrics, error) {
 		}
 		outs[r.ID()].res = acc
 	})
-	cl.Kernel.Run()
+	if parallel {
+		cl.Part.Run(spec.JRun)
+		trace.MergeShards(spec.Trace, traceShards)
+		probe.MergeShards(spec.Probe, probeShards)
+	} else {
+		cl.Kernel.Run()
+	}
 
 	var m Metrics
 	m.Elapsed = cl.World.Elapsed()

@@ -29,6 +29,14 @@ type ScaleConfig struct {
 	PerRankBytes int64
 	// Seed drives platform noise (one run per point).
 	Seed int64
+	// JRun, when >= 1, runs every point on the conservative parallel
+	// executor with that many window workers — and switches the sweep to
+	// the deterministic ibex model (noise off), the precondition for
+	// partitioned execution. Points at different JRun levels of the
+	// deterministic sweep simulate the identical system, so their
+	// simulated times must agree exactly; only host wall-clock may
+	// differ. JRun == 0 keeps the historical noisy sweep (E8).
+	JRun int
 	// Progress, if non-nil, receives one line per completed point.
 	Progress io.Writer
 }
@@ -74,6 +82,19 @@ func ScaleSpec(np int, algo fcoll.Algorithm, perRankBytes, seed int64) Spec {
 	}
 }
 
+// ParallelScaleSpec is ScaleSpec on the deterministic ibex model with
+// the conservative parallel executor enabled at jrun window workers —
+// the configuration of the E9 sweep and the BenchmarkParallelRun
+// family. The simulated result is identical at every jrun (including
+// jrun 1, which runs the partitioned executor inline); only host
+// wall-clock varies.
+func ParallelScaleSpec(np int, algo fcoll.Algorithm, perRankBytes, seed int64, jrun int) Spec {
+	spec := ScaleSpec(np, algo, perRankBytes, seed)
+	spec.Platform = spec.Platform.Deterministic()
+	spec.JRun = jrun
+	return spec
+}
+
 // RunScaleSweep executes the sweep. Points run sequentially — each one
 // is internally a whole simulated cluster, and sequential execution
 // keeps the per-point wall-clock numbers honest.
@@ -90,8 +111,12 @@ func RunScaleSweep(cfg ScaleConfig) ([]ScalePoint, error) {
 				np, pf.Name, pf.MaxProcs())
 		}
 		for _, algo := range cfg.Algorithms {
+			spec := ScaleSpec(np, algo, cfg.PerRankBytes, cfg.Seed)
+			if cfg.JRun >= 1 {
+				spec = ParallelScaleSpec(np, algo, cfg.PerRankBytes, cfg.Seed, cfg.JRun)
+			}
 			start := time.Now()
-			m, err := Execute(ScaleSpec(np, algo, cfg.PerRankBytes, cfg.Seed))
+			m, err := Execute(spec)
 			if err != nil {
 				return nil, fmt.Errorf("scale np=%d %v: %w", np, algo, err)
 			}

@@ -98,7 +98,7 @@ func (ex *exec) runDataflow() {
 
 func (ex *exec) runWriteComm2Dataflow() {
 	n := ex.p.ncycles
-	k := ex.r.World().Kernel()
+	k := ex.r.Kernel()
 
 	type bufState struct {
 		sh    *shuffle

@@ -48,6 +48,12 @@ func Run(r *mpi.Rank, jv *JobView, file Writer, opts Options) (Result, error) {
 	defer r.ExitMPI()
 
 	ex := &exec{r: r, jv: jv, file: file, opts: opts, dataMode: jv.DataMode()}
+	if opts.TraceShards != nil {
+		ex.opts.Trace = opts.TraceShards[r.Node()]
+	}
+	if opts.ProbeShards != nil {
+		ex.opts.Probe = opts.ProbeShards[r.Node()]
+	}
 	ex.setup()
 	switch opts.Algorithm {
 	case NoOverlap:
@@ -73,7 +79,7 @@ func Run(r *mpi.Rank, jv *JobView, file Writer, opts Options) (Result, error) {
 	ex.res.Elapsed = r.Now() - start
 	ex.res.Cycles = ex.p.ncycles
 	ex.res.Aggregator = ex.aggIdx >= 0
-	if p := opts.Probe; p != nil {
+	if p := ex.opts.Probe; p != nil {
 		p.Emit(probe.Event{
 			At: start, Dur: ex.res.Elapsed, Layer: probe.LayerFcoll,
 			Kind: probe.KindCollOp, Cause: probe.CauseCollWrite,
@@ -521,7 +527,7 @@ func (ex *exec) writeInit(c, slot int) *sim.Future {
 	fut := ex.file.WriteAsync(ex.r, ext.Off, ext.Len, data)
 	if ex.opts.Trace != nil || ex.opts.Probe.Enabled() {
 		t0 := ex.r.Now()
-		rank, k := ex.r.ID(), ex.r.World().Kernel()
+		rank, k := ex.r.ID(), ex.r.Kernel()
 		tr, p := ex.opts.Trace, ex.opts.Probe
 		fut.OnDone(func() {
 			now := k.Now()

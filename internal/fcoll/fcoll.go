@@ -185,6 +185,14 @@ type Options struct {
 	// counters. The same probe should also be attached to the world,
 	// network and file system (exp.Execute wires all four).
 	Probe *probe.Probe
+	// TraceShards / ProbeShards, when non-nil, carry one sink per node
+	// LP for partitioned execution. Each rank's exec resolves its node's
+	// shard into its private Trace/Probe at Run entry, keeping every
+	// emission single-writer on its LP; trace.MergeShards and
+	// probe.MergeShards fold the shards back into sequential order after
+	// the run. Shards take precedence over the shared sinks above.
+	TraceShards []*trace.Recorder
+	ProbeShards []*probe.Probe
 }
 
 // DefaultOptions returns the paper's configuration: 32 MiB collective

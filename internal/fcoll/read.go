@@ -69,7 +69,7 @@ func RunRead(r *mpi.Rank, jv *JobView, file Reader, opts Options) (Result, error
 	ex.res.Elapsed = r.Now() - start
 	ex.res.Cycles = ex.p.ncycles
 	ex.res.Aggregator = ex.aggIdx >= 0
-	if p := opts.Probe; p != nil {
+	if p := ex.opts.Probe; p != nil {
 		p.Emit(probe.Event{
 			At: start, Dur: ex.res.Elapsed, Layer: probe.LayerFcoll,
 			Kind: probe.KindCollOp, Cause: probe.CauseCollRead,
@@ -180,7 +180,7 @@ func (ex *readExec) readInit(c, slot int) *sim.Future {
 	fut := ex.file.ReadAsync(ex.r, ext.Off, ext.Len, buf)
 	if ex.opts.Trace != nil || ex.opts.Probe.Enabled() {
 		t0 := ex.r.Now()
-		rank, k := ex.r.ID(), ex.r.World().Kernel()
+		rank, k := ex.r.ID(), ex.r.Kernel()
 		tr, p := ex.opts.Trace, ex.opts.Probe
 		fut.OnDone(func() {
 			now := k.Now()

@@ -111,17 +111,17 @@ func (e *engine) arrive(pkt packet) {
 		return
 	}
 	if len(e.pending) == 0 {
-		e.stallSince = e.r.w.k.Now()
+		e.stallSince = e.r.k.Now()
 	}
 	e.pending = append(e.pending, pkt)
 }
 
 func (e *engine) drain() {
-	if p := e.r.w.probe; p != nil && len(e.pending) > 0 {
+	if p := e.r.probeSink(); p != nil && len(e.pending) > 0 {
 		// Protocol packets sat queued while this rank was outside MPI —
 		// the handshake stall the paper's overlap algorithms fight. The
 		// span runs from the first queued arrival to this drain.
-		now := e.r.w.k.Now()
+		now := e.r.k.Now()
 		stall := now - e.stallSince
 		p.Emit(probe.Event{
 			At: e.stallSince, Dur: stall, Layer: probe.LayerMPI,
@@ -142,12 +142,12 @@ func (e *engine) drain() {
 // emitProto records one protocol transition at the current virtual time
 // (no-op without a probe).
 func (e *engine) emitProto(cause probe.Cause, peer int, size int64) {
-	p := e.r.w.probe
+	p := e.r.probeSink()
 	if p == nil {
 		return
 	}
 	p.Emit(probe.Event{
-		At: e.r.w.k.Now(), Layer: probe.LayerMPI, Kind: probe.KindProto,
+		At: e.r.k.Now(), Layer: probe.LayerMPI, Kind: probe.KindProto,
 		Cause: cause, Rank: e.r.id, Peer: peer, Cycle: -1, Size: size,
 	})
 }
@@ -166,7 +166,7 @@ func (e *engine) matchPosted(src, tag int) (*Request, int) {
 
 func (e *engine) handle(pkt packet) {
 	cfg := &e.r.w.cfg
-	k := e.r.w.k
+	k := e.r.k
 	switch p := pkt.(type) {
 	case *eagerPkt:
 		e.emitProto(probe.CauseEagerArrive, p.src, p.pl.Size)
@@ -176,7 +176,7 @@ func (e *engine) handle(pkt packet) {
 			if len(e.unexpected) > e.maxUnexpected {
 				e.maxUnexpected = len(e.unexpected)
 			}
-			if pr := e.r.w.probe; pr != nil {
+			if pr := e.r.probeSink(); pr != nil {
 				pr.Emit(probe.Event{
 					At: k.Now(), Layer: probe.LayerMPI, Kind: probe.KindUnexpected,
 					Cause: probe.CauseEager, Rank: e.r.id, Peer: p.src, Cycle: -1,
@@ -227,14 +227,14 @@ func (e *engine) finishRecv(req *Request, pl Payload, delay sim.Time) {
 		copy(req.buf, pl.Data)
 	}
 	req.recvd = pl.Size
-	e.r.w.k.After(delay, req.fut.Complete)
+	e.r.k.After(delay, req.fut.Complete)
 }
 
 // finishRecvWithCopy completes a receive whose data sits in the
 // unexpected queue: an extra memory copy at the node's memory bandwidth
 // is charged before completion.
 func (e *engine) finishRecvWithCopy(req *Request, pl Payload, delay sim.Time) {
-	k := e.r.w.k
+	k := e.r.k
 	if req.buf != nil && pl.Data != nil {
 		copy(req.buf, pl.Data)
 	}

@@ -60,14 +60,14 @@ func (r *Rank) Isend(dst, tag int, pl Payload) *Request {
 		// charged explicitly by the callers.)
 		pl = Bytes(append([]byte(nil), pl.Data...))
 	}
-	req := r.w.newRequest()
-	req.fut = r.w.k.NewFuture()
+	req := r.newRequest()
+	req.fut = r.k.NewFuture()
 	req.rank = r
 	req.peer = dst
 	req.tag = tag
 	req.pl = pl
 	dstRank := r.w.ranks[dst]
-	if p := r.w.probe; p != nil {
+	if p := r.probeSink(); p != nil {
 		path, msgCtr, byteCtr := probe.CauseEager, probe.CtrMPIEagerMsgs, probe.CtrMPIEagerBytes
 		if pl.Size >= cfg.EagerLimit {
 			path, msgCtr, byteCtr = probe.CauseRendezvous, probe.CtrMPIRdvMsgs, probe.CtrMPIRdvBytes
@@ -110,15 +110,15 @@ func (r *Rank) Irecv(src, tag int, size int64, buf []byte) *Request {
 	e.enter()
 	defer e.exit()
 	cfg := &r.w.cfg
-	req := r.w.newRequest()
-	req.fut = r.w.k.NewFuture()
+	req := r.newRequest()
+	req.fut = r.k.NewFuture()
 	req.rank = r
 	req.recv = true
 	req.peer = src
 	req.tag = tag
 	req.size = size
 	req.buf = buf
-	if p := r.w.probe; p != nil {
+	if p := r.probeSink(); p != nil {
 		p.Emit(probe.Event{
 			At: r.Now(), Layer: probe.LayerMPI, Kind: probe.KindIrecv,
 			Rank: r.id, Peer: src, Cycle: -1, Size: size, V: int64(tag),
@@ -144,14 +144,14 @@ func (r *Rank) Wait(reqs ...*Request) {
 			continue
 		}
 		r.p.Wait(q.fut)
-		r.w.releaseRequest(q)
+		r.releaseRequest(q)
 	}
 }
 
 // waitSpan opens a KindWait probe span; the closer drops zero-length
 // waits (already-complete requests) to keep the event stream small.
 func (r *Rank) waitSpan() func() {
-	p := r.w.probe
+	p := r.probeSink()
 	if p == nil {
 		return probeNop
 	}
@@ -203,6 +203,6 @@ func (r *Rank) Recv(src, tag int, size int64, buf []byte) int64 {
 	defer r.waitSpan()()
 	r.p.Wait(q.fut)
 	n := q.recvd
-	r.w.releaseRequest(q)
+	r.releaseRequest(q)
 	return n
 }

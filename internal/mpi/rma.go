@@ -58,6 +58,13 @@ type windowLockState struct {
 // in the same order; the call completes after a barrier, like
 // MPI_Win_allocate.
 func (r *Rank) WinAllocate(size int64, withData bool) *Window {
+	if r.w.net.Partition() != nil {
+		// One-sided windows keep world-wide epoch state (locks, exposure
+		// counts) mutated from arbitrary ranks; they have no LP-sharded
+		// form. The partitioned gate in internal/exp only admits the
+		// two-sided primitive, so this is a programming-error guard.
+		panic("mpi: one-sided windows are not supported under partitioned execution")
+	}
 	idx := r.winCalls
 	r.winCalls++
 	w := r.w

@@ -122,11 +122,16 @@ type World struct {
 	cfg   Config
 	ranks []*Rank
 
-	windows  []*Window
-	finished int
-	finishAt sim.Time
-	started  bool
-	probe    *probe.Probe
+	windows []*Window
+	started bool
+	probe   *probe.Probe
+
+	// probeShards, when non-nil, holds one probe sink per node LP for
+	// partitioned execution. Every MPI-layer emission happens in the
+	// context of the rank it concerns (its LP), so routing each rank's
+	// events to its node's shard keeps emission single-writer; the
+	// canonical fold (probe.MergeShards) restores sequential order.
+	probeShards []*probe.Probe
 
 	// freeReqs is a free list of recycled Request objects, mirroring the
 	// sim.Server request pool: the point-to-point layer turns over one
@@ -135,7 +140,17 @@ type World struct {
 	// to the list in Wait (after their future has completed). Rank
 	// goroutines are serialised by the simulation kernel, so the list
 	// needs no locking — the same discipline as sim.Server.freeReqs.
-	freeReqs *Request
+	// Partitioned worlds shard the list per node LP (reqShards) instead,
+	// because ranks on different LPs allocate concurrently.
+	freeReqs  *Request
+	reqShards []reqShard
+}
+
+// reqShard is one LP's request free list, padded so adjacent shards
+// never share a cache line under concurrent window execution.
+type reqShard struct {
+	free *Request
+	_    [56]byte
 }
 
 // newRequest takes a zeroed request from the free list (or allocates
@@ -161,18 +176,57 @@ func (w *World) releaseRequest(q *Request) {
 	w.freeReqs = q
 }
 
+// newRequest / releaseRequest on a Rank route through the rank's LP
+// shard under partitioned execution (each LP owns its ranks' request
+// turnover) and fall back to the world-wide list sequentially.
+func (r *Rank) newRequest() *Request {
+	if r.w.reqShards == nil {
+		return r.w.newRequest()
+	}
+	sh := &r.w.reqShards[r.node]
+	q := sh.free
+	if q == nil {
+		return &Request{}
+	}
+	sh.free = q.next
+	*q = Request{}
+	return q
+}
+
+func (r *Rank) releaseRequest(q *Request) {
+	if r.w.reqShards == nil {
+		r.w.releaseRequest(q)
+		return
+	}
+	sh := &r.w.reqShards[r.node]
+	*q = Request{next: sh.free}
+	sh.free = q
+}
+
 // NewWorld creates the rank set. Ranks do not run until Launch.
 func NewWorld(k *sim.Kernel, net *simnet.Network, cfg Config) (*World, error) {
 	if err := cfg.validate(net.NumNodes()); err != nil {
 		return nil, err
 	}
 	w := &World{k: k, net: net, cfg: cfg}
+	if net.Partition() != nil {
+		// Partitioned execution: each rank lives on its node's LP. The
+		// rendezvous chunk pump round-trips through the receiver's
+		// progress engine with a 150 ns handler delay — far inside any
+		// realistic lookahead window — so pipelining must be disabled
+		// (single-shot hardware transfers) before partitioning.
+		if cfg.RendezvousChunk > 0 {
+			return nil, fmt.Errorf("mpi: partitioned execution requires RendezvousChunk <= 0 (pipelining couples LPs below the lookahead)")
+		}
+		w.reqShards = make([]reqShard, net.NumNodes())
+	}
 	for i := 0; i < cfg.NProcs; i++ {
 		r := &Rank{
 			w:    w,
 			id:   i,
 			node: i / cfg.RanksPerNode,
 		}
+		r.k = net.KernelFor(r.node)
 		r.eng = newEngine(r)
 		w.ranks = append(w.ranks, r)
 	}
@@ -185,6 +239,11 @@ func (w *World) Kernel() *sim.Kernel { return w.k }
 // SetProbe attaches an observability probe (nil detaches). Probing only
 // observes protocol state; it must never change rank timing.
 func (w *World) SetProbe(p *probe.Probe) { w.probe = p }
+
+// SetProbeShards attaches one probe sink per node LP for partitioned
+// execution. Each rank's MPI-layer events go to its node's shard;
+// probe.MergeShards folds them back into sequential emission order.
+func (w *World) SetProbeShards(shards []*probe.Probe) { w.probeShards = shards }
 
 // Probe returns the attached probe (possibly nil).
 func (w *World) Probe() *probe.Probe { return w.probe }
@@ -210,23 +269,33 @@ func (w *World) Launch(body func(r *Rank)) {
 	w.started = true
 	for _, r := range w.ranks {
 		r := r
-		r.p = w.k.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+		// Each rank spawns on its own LP's kernel (the shared kernel in a
+		// sequential run) and records its finish on itself, so partitioned
+		// windows never contend on world-wide finish bookkeeping.
+		r.p = r.k.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			body(r)
-			w.finished++
-			if t := p.Now(); t > w.finishAt {
-				w.finishAt = t
-			}
+			r.fin = true
+			r.finAt = p.Now()
 		})
 	}
 }
 
 // Elapsed returns the virtual time at which the last rank finished. It
-// is valid after kernel.Run has returned.
+// is valid after kernel.Run (or Partition.Run) has returned.
 func (w *World) Elapsed() sim.Time {
-	if w.finished != w.cfg.NProcs {
-		panic(fmt.Sprintf("mpi: Elapsed called with %d/%d ranks finished", w.finished, w.cfg.NProcs))
+	finished, finishAt := 0, sim.Time(0)
+	for _, r := range w.ranks {
+		if r.fin {
+			finished++
+			if r.finAt > finishAt {
+				finishAt = r.finAt
+			}
+		}
 	}
-	return w.finishAt
+	if finished != w.cfg.NProcs {
+		panic(fmt.Sprintf("mpi: Elapsed called with %d/%d ranks finished", finished, w.cfg.NProcs))
+	}
+	return finishAt
 }
 
 // Rank is one simulated MPI process.
@@ -234,8 +303,12 @@ type Rank struct {
 	w    *World
 	id   int
 	node int
+	k    *sim.Kernel // the node's LP kernel; the shared kernel sequentially
 	p    *sim.Proc
 	eng  *engine
+
+	fin   bool     // body returned (per-rank so LPs don't contend)
+	finAt sim.Time // virtual finish time
 
 	winCalls int         // WinAllocate call counter (collective-order matching)
 	rmaAgent *sim.Server // passive-target RMA agent (lock/unlock serialisation)
@@ -258,6 +331,21 @@ func (r *Rank) Size() int { return r.w.cfg.NProcs }
 
 // World returns the owning world.
 func (r *Rank) World() *World { return r.w }
+
+// Kernel returns the kernel this rank's events run on: its node's LP
+// kernel under partitioned execution, the shared kernel otherwise.
+// Completion callbacks registered from rank context must read time from
+// this kernel, not the world's.
+func (r *Rank) Kernel() *sim.Kernel { return r.k }
+
+// probeSink returns the probe this rank's events are emitted into: its
+// node's shard under partitioned execution, the shared probe otherwise.
+func (r *Rank) probeSink() *probe.Probe {
+	if s := r.w.probeShards; s != nil {
+		return s[r.node]
+	}
+	return r.w.probe
+}
 
 // Proc returns the underlying simulated process.
 func (r *Rank) Proc() *sim.Proc { return r.p }
@@ -286,7 +374,7 @@ var probeNop = func() {}
 // With no probe attached this is a shared no-op closure — no per-call
 // allocation beyond the defer itself.
 func (r *Rank) span(kind probe.Kind, cause probe.Cause) func() {
-	p := r.w.probe
+	p := r.probeSink()
 	if p == nil {
 		return probeNop
 	}

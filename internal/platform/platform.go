@@ -76,6 +76,11 @@ type Platform struct {
 	// MPI stack tuning; zero values fall back to mpi.DefaultConfig.
 	EagerLimit     int64
 	ProgressThread bool
+	// RendezvousChunk overrides the rendezvous pipeline granularity:
+	// > 0 sets the chunk size, < 0 disables pipelining (single-shot
+	// hardware transfers, required for partitioned execution), 0 keeps
+	// the mpi.DefaultConfig value (1 MiB).
+	RendezvousChunk int64
 }
 
 // Crill models the University of Houston crill partition: 16 quad-CPU
@@ -141,6 +146,24 @@ func Ibex() Platform {
 // Platforms returns the paper's two clusters.
 func Platforms() []Platform { return []Platform{Crill(), Ibex()} }
 
+// Deterministic returns a copy of the platform with every noise source
+// zeroed and rendezvous pipelining disabled — the configuration the
+// conservative parallel executor requires. Per-transfer noise draws
+// from a shared RNG in global submission order (zero lookahead between
+// LPs), and the chunk pump round-trips through the receiver's progress
+// engine in 150 ns; both are proven incompatible with exact partitioned
+// execution (DESIGN.md §11). Run-level noise factors would partition
+// fine (they are drawn once before the run) but are zeroed too so a
+// deterministic model is deterministic end to end.
+func (pf Platform) Deterministic() Platform {
+	pf.NetNoiseSigma = 0
+	pf.StorageNoiseSigma = 0
+	pf.RunNoiseNet = 0
+	pf.RunNoiseStorage = 0
+	pf.RendezvousChunk = -1
+	return pf
+}
+
 // MaxProcs returns the largest rank count the platform supports.
 func (pf Platform) MaxProcs() int { return pf.Nodes * pf.RanksPerNode }
 
@@ -169,6 +192,10 @@ type Cluster struct {
 	Net      *simnet.Network
 	World    *mpi.World
 	FS       *simfs.FS
+	// Part is the LP partition of a parallel instantiation (nil for
+	// sequential clusters). Kernel is then LP 0's kernel; run the
+	// simulation with Part.Run instead of Kernel.Run.
+	Part *sim.Partition
 }
 
 // Instantiate builds a simulation of the platform running nprocs ranks,
@@ -206,11 +233,7 @@ func (pf Platform) Instantiate(nprocs int, seed int64) (*Cluster, error) {
 		MemBandwidth:   pf.MemBandwidth,
 		LinkNoise:      lognormal(pf.NetNoiseSigma),
 	})
-	cfg := mpi.DefaultConfig(nprocs, pf.RanksPerNode)
-	if pf.EagerLimit > 0 {
-		cfg.EagerLimit = pf.EagerLimit
-	}
-	cfg.ProgressThread = pf.ProgressThread
+	cfg := pf.mpiConfig(nprocs)
 	w, err := mpi.NewWorld(k, net, cfg)
 	if err != nil {
 		return nil, err
@@ -233,4 +256,96 @@ func (pf Platform) Instantiate(nprocs int, seed int64) (*Cluster, error) {
 		return nil, err
 	}
 	return &Cluster{Platform: pf, Kernel: k, Net: net, World: w, FS: fs}, nil
+}
+
+// mpiConfig assembles the MPI runtime configuration for nprocs ranks.
+func (pf Platform) mpiConfig(nprocs int) mpi.Config {
+	cfg := mpi.DefaultConfig(nprocs, pf.RanksPerNode)
+	if pf.EagerLimit > 0 {
+		cfg.EagerLimit = pf.EagerLimit
+	}
+	if pf.RendezvousChunk != 0 {
+		cfg.RendezvousChunk = pf.RendezvousChunk
+	}
+	cfg.ProgressThread = pf.ProgressThread
+	return cfg
+}
+
+// Lookahead returns the conservative-parallel window width of the
+// platform: the smallest deterministic latency separating LPs. Every
+// cross-LP interaction is at least one inter-node wire latency, one
+// client-to-storage latency, or one storage per-op overhead away, so
+// events inside a [T, T+Lookahead) window on different LPs cannot
+// affect each other (the safety argument in DESIGN.md §11).
+func (pf Platform) Lookahead() sim.Time {
+	la := pf.InterLatency
+	if pf.StorageLatency < la {
+		la = pf.StorageLatency
+	}
+	if pf.TargetPerOp < la {
+		la = pf.TargetPerOp
+	}
+	return la
+}
+
+// InstantiateParallel builds a partitioned simulation of the platform:
+// one logical process per compute node (plus a storage LP when the
+// file system is external), conservatively synchronised in windows of
+// Lookahead(). Run it with Cluster.Part.Run(workers); results are
+// bit-identical to Instantiate on the same deterministic platform.
+// The platform must be noise-free with pipelining disabled (see
+// Deterministic) — anything else has cross-LP couplings below the
+// lookahead and is rejected rather than approximated.
+func (pf Platform) InstantiateParallel(nprocs int, seed int64) (*Cluster, error) {
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("platform: nprocs must be positive, got %d", nprocs)
+	}
+	if nprocs > pf.MaxProcs() {
+		return nil, fmt.Errorf("platform: %s supports at most %d processes (%d nodes × %d), got %d",
+			pf.Name, pf.MaxProcs(), pf.Nodes, pf.RanksPerNode, nprocs)
+	}
+	if pf.NetNoiseSigma != 0 || pf.StorageNoiseSigma != 0 || pf.RunNoiseNet != 0 || pf.RunNoiseStorage != 0 {
+		return nil, fmt.Errorf("platform: %s: partitioned execution requires a noise-free model (use Deterministic())", pf.Name)
+	}
+	if pf.RendezvousChunk >= 0 {
+		return nil, fmt.Errorf("platform: %s: partitioned execution requires RendezvousChunk < 0 (use Deterministic())", pf.Name)
+	}
+	nodes := (nprocs + pf.RanksPerNode - 1) / pf.RanksPerNode
+	if pf.NodeLocalStorage && nodes < pf.Nodes {
+		nodes = pf.Nodes
+	}
+	nlps := nodes
+	if !pf.NodeLocalStorage {
+		nlps++ // dedicated storage LP for external targets
+	}
+	part := sim.NewPartition(seed, nlps, pf.Lookahead())
+	net := simnet.NewPartitioned(part, simnet.Config{
+		Nodes:          nodes,
+		InterBandwidth: pf.InterBandwidth,
+		InterLatency:   pf.InterLatency,
+		IntraBandwidth: pf.IntraBandwidth,
+		IntraLatency:   pf.IntraLatency,
+		MemBandwidth:   pf.MemBandwidth,
+	})
+	w, err := mpi.NewWorld(part.Kernel(0), net, pf.mpiConfig(nprocs))
+	if err != nil {
+		return nil, err
+	}
+	fscfg := simfs.Config{
+		StripeSize:      pf.StripeSize,
+		NumTargets:      pf.StorageTargets,
+		TargetBandwidth: pf.TargetBandwidth,
+		TargetPerOp:     pf.TargetPerOp,
+		NetLatency:      pf.StorageLatency,
+		ClientPerOp:     20 * sim.Microsecond,
+	}
+	if pf.NodeLocalStorage {
+		n := nodes
+		fscfg.TargetNode = func(t int) int { return t % n }
+	}
+	fs, err := simfs.NewPartitioned(part, net, fscfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Platform: pf, Kernel: part.Kernel(0), Net: net, World: w, FS: fs, Part: part}, nil
 }

@@ -94,6 +94,13 @@ func (k *Kernel) NewServer(name string, bandwidth float64, perOp Time) *Server {
 	}
 }
 
+// ServiceTime returns the unperturbed service time for size bytes —
+// deterministic given the config, which is what lets partitioned
+// callers precompute a completion instant before service starts (the
+// precomputability-as-lookahead trick in simnet). Noise, when present,
+// perturbs the actual service on top of this value.
+func (s *Server) ServiceTime(size int64) Time { return s.serviceTime(size) }
+
 // serviceTime computes the unperturbed service time for size bytes.
 func (s *Server) serviceTime(size int64) Time {
 	d := s.PerOp
@@ -218,8 +225,19 @@ func (s *Server) SubmitAfter(delay Time, size int64) *Future {
 
 // SubmitFlowAfter is SubmitFlow with an arrival delay.
 func (s *Server) SubmitFlowAfter(flow interface{}, delay Time, size int64) *Future {
+	return s.SubmitFlowAfterOnArrive(flow, delay, size, nil)
+}
+
+// SubmitFlowAfterOnArrive is SubmitFlowAfter with a callback invoked (in
+// kernel context) when the request reaches the server queue, before it
+// is enqueued — the instant an observer should sample the backlog the
+// request is about to join.
+func (s *Server) SubmitFlowAfterOnArrive(flow interface{}, delay Time, size int64, onArrive func()) *Future {
 	fut := s.k.NewFuture()
 	s.k.After(delay, func() {
+		if onArrive != nil {
+			onArrive()
+		}
 		inner := s.SubmitFlow(flow, size)
 		inner.OnDone(fut.Complete)
 	})

@@ -19,6 +19,7 @@ package simfs
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"collio/internal/probe"
 	"collio/internal/sim"
@@ -71,6 +72,16 @@ type FS struct {
 	targets []*sim.Server
 	files   map[string]*File
 	probe   *probe.Probe
+
+	// Partitioned execution: each target's server lives on one LP —
+	// its hosting compute node's (crill-style node-local storage) or a
+	// dedicated storage LP appended after the compute nodes (ibex-style
+	// external storage). targetK/targetLP record the placement;
+	// probeShards carries one observability sink per LP.
+	part        *sim.Partition
+	targetK     []*sim.Kernel
+	targetLP    []int
+	probeShards []*probe.Probe
 }
 
 // New creates a file system whose chunk traffic shares the given
@@ -95,6 +106,75 @@ func New(k *sim.Kernel, net *simnet.Network, cfg Config) (*FS, error) {
 	return fs, nil
 }
 
+// StorageLP returns the LP index a partitioned file system with
+// external storage places its targets on: the LP after the last compute
+// node. Platform code sizes the partition accordingly.
+func StorageLP(net *simnet.Network) int { return net.NumNodes() }
+
+// NewPartitioned creates a file system whose storage targets live on
+// their own LPs: node-local targets (TargetNode non-nil) on the hosting
+// node's kernel, external targets on the dedicated storage LP
+// StorageLP(net). Writes stay exact because both legs of the
+// client↔target exchange have deterministic, lookahead-deep latency:
+// the request rides NetLatency (>= the partition lookahead) to the
+// target, and the persistence ack is precomputed at service start —
+// service times are noise-free, so completion is known TargetPerOp (>=
+// lookahead) before it happens. TargetNoise would couple the target to
+// a shared RNG below the lookahead and is rejected; the read path
+// submits instantly at the target and is rejected at call time
+// (internal/exp falls back to sequential execution for both).
+func NewPartitioned(part *sim.Partition, net *simnet.Network, cfg Config) (*FS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TargetNoise != nil {
+		return nil, fmt.Errorf("simfs: TargetNoise requires sequential execution (shared-RNG draws have zero lookahead)")
+	}
+	if cfg.NetLatency < part.Lookahead() {
+		return nil, fmt.Errorf("simfs: NetLatency %v below partition lookahead %v", cfg.NetLatency, part.Lookahead())
+	}
+	if cfg.TargetPerOp < part.Lookahead() {
+		return nil, fmt.Errorf("simfs: TargetPerOp %v below partition lookahead %v (ack precomputation needs it)", cfg.TargetPerOp, part.Lookahead())
+	}
+	fs := &FS{k: part.Kernel(0), net: net, cfg: cfg, files: make(map[string]*File), part: part}
+	for i := 0; i < cfg.NumTargets; i++ {
+		lp := StorageLP(net)
+		if cfg.TargetNode != nil {
+			lp = cfg.TargetNode(i)
+		}
+		if lp >= part.NKernels() {
+			return nil, fmt.Errorf("simfs: target %d needs LP %d, partition has %d", i, lp, part.NKernels())
+		}
+		tk := part.Kernel(lp)
+		fs.targets = append(fs.targets, tk.NewServer(fmt.Sprintf("ost%d", i), cfg.TargetBandwidth, cfg.TargetPerOp))
+		fs.targetK = append(fs.targetK, tk)
+		fs.targetLP = append(fs.targetLP, lp)
+	}
+	return fs, nil
+}
+
+// SetProbeShards attaches one probe sink per LP for partitioned
+// execution: client-side events go to the client node's shard,
+// per-target counters to the target's LP shard.
+func (fs *FS) SetProbeShards(shards []*probe.Probe) { fs.probeShards = shards }
+
+// kernelFor returns the kernel client-side events for node run on.
+func (fs *FS) kernelFor(node int) *sim.Kernel {
+	if fs.part != nil {
+		return fs.net.KernelFor(node)
+	}
+	return fs.k
+}
+
+// probeFor returns the observability sink for events emitted on node's
+// LP.
+func (fs *FS) probeFor(node int) *probe.Probe {
+	if fs.probeShards != nil {
+		return fs.probeShards[node]
+	}
+	return fs.probe
+}
+
 // Config returns the file system configuration.
 func (fs *FS) Config() Config { return fs.cfg }
 
@@ -115,28 +195,55 @@ func (fs *FS) SetProbe(p *probe.Probe) { fs.probe = p }
 // call's completion future. Rank is the client *node* (the fs layer has
 // no rank notion); V carries the file offset.
 func (fs *FS) observeIO(kind probe.Kind, clientNode int, off, size int64, done *sim.Future) {
-	p := fs.probe
+	p := fs.probeFor(clientNode)
 	if p == nil {
 		return
 	}
-	t0 := fs.k.Now()
+	k := fs.kernelFor(clientNode)
+	t0 := k.Now()
 	done.OnDone(func() {
 		p.Emit(probe.Event{
-			At: t0, Dur: fs.k.Now() - t0, Layer: probe.LayerFS, Kind: kind,
+			At: t0, Dur: k.Now() - t0, Layer: probe.LayerFS, Kind: kind,
 			Rank: clientNode, Peer: -1, Cycle: -1, Size: size, V: off,
 		})
 	})
 }
 
-// observeChunk records one stripe chunk routed to a storage target: an
-// occupancy sample with the estimated queueing delay (backlog at the
-// target when the client issued the call) plus per-OST counters.
+// observeChunk records the per-OST counters for one stripe chunk routed
+// to a storage target. The occupancy sample itself (KindOSTQueue) is
+// emitted separately at arrival time — see sampleOSTQueue.
 func (fs *FS) observeChunk(clientNode, target int, size int64) {
-	p := fs.probe
+	p := fs.probeFor(clientNode)
 	if p == nil {
 		return
 	}
-	now := fs.k.Now()
+	p.Counters().Add(probe.OSTCounter(target, "bytes"), size)
+	p.Counters().Add(probe.OSTCounter(target, "ops"), 1)
+}
+
+// sampleOSTQueue emits the occupancy sample for one stripe chunk: the
+// backlog the chunk finds when it reaches its storage target, measured
+// in the arrival callback just before the chunk enqueues. Sampling at
+// arrival (rather than at the client-side submit) keeps the estimate
+// exact under partitioned execution too: the arrival code runs on the
+// target's own LP, where the server state is local — no cross-LP read,
+// and the parallel probe stream stays bit-identical to the sequential
+// one. Must be called from the arrival context (the target's kernel
+// under partitioned execution).
+func (fs *FS) sampleOSTQueue(clientNode, target int, size int64) {
+	var p *probe.Probe
+	var k *sim.Kernel
+	if fs.part != nil {
+		k = fs.targetK[target]
+		p = fs.probeFor(fs.targetLP[target])
+	} else {
+		k = fs.k
+		p = fs.probeFor(clientNode)
+	}
+	if p == nil {
+		return
+	}
+	now := k.Now()
 	est := fs.targets[target].BusyUntil() - now
 	if est < 0 {
 		est = 0
@@ -145,8 +252,6 @@ func (fs *FS) observeChunk(clientNode, target int, size int64) {
 		At: now, Dur: est, Layer: probe.LayerFS, Kind: probe.KindOSTQueue,
 		Rank: clientNode, Peer: -1, Cycle: -1, Size: size, V: int64(target),
 	})
-	p.Counters().Add(probe.OSTCounter(target, "bytes"), size)
-	p.Counters().Add(probe.OSTCounter(target, "ops"), 1)
 }
 
 // Open returns the named file, creating it empty if needed.
@@ -164,6 +269,12 @@ type File struct {
 	fs   *FS
 	name string
 
+	// mu serialises host-side bookkeeping under partitioned execution,
+	// where write calls arrive concurrently from several LPs. The
+	// recorded state is order-independent (coalesce sorts; bytes/writes
+	// are sums), so locking order never affects results. Sequential runs
+	// pay one uncontended lock per call.
+	mu      sync.Mutex
 	data    []byte   // sparse backing store, grown on demand (data mode)
 	written []extent // merged written ranges (both modes)
 	bytes   int64    // total bytes written (including overwrites)
@@ -210,12 +321,13 @@ func (f *File) startWrite(clientNode int, off, size int64, data []byte) *sim.Fut
 		panic("simfs: data length does not match size")
 	}
 	f.record(off, size, data)
-	ctr := f.fs.probe.Counters()
+	k := f.fs.kernelFor(clientNode)
+	ctr := f.fs.probeFor(clientNode).Counters()
 	ctr.Add(probe.CtrFSWrites, 1)
 	ctr.Add(probe.CtrFSWriteBytes, size)
 	if size == 0 {
-		out := f.fs.k.NewFuture()
-		f.fs.k.After(f.fs.cfg.ClientPerOp, out.Complete)
+		out := k.NewFuture()
+		k.After(f.fs.cfg.ClientPerOp, out.Complete)
 		f.fs.observeIO(probe.KindFSWrite, clientNode, off, size, out)
 		return out
 	}
@@ -230,21 +342,45 @@ func (f *File) startWrite(clientNode int, off, size int64, data []byte) *sim.Fut
 		srv := f.fs.targets[tgt]
 		f.fs.observeChunk(clientNode, tgt, n)
 		if local {
-			futs = append(futs, srv.SubmitAfter(f.fs.cfg.ClientPerOp, n))
+			futs = append(futs, srv.SubmitFlowAfterOnArrive(nil, f.fs.cfg.ClientPerOp, n, func() {
+				f.fs.sampleOSTQueue(clientNode, tgt, n)
+			}))
 			continue
 		}
 		// Remote: inject on the client NIC, then cross the wire, then
 		// queue at the target.
-		done := f.fs.k.NewFuture()
+		done := k.NewFuture()
 		tx := f.fs.net.TxServer(clientNode).SubmitFlow(flow, n)
 		lat := f.fs.cfg.NetLatency
-		tx.OnDone(func() {
-			t := srv.SubmitAfter(lat, n)
-			t.OnDone(done.Complete)
-		})
+		if f.fs.part == nil {
+			tx.OnDone(func() {
+				t := srv.SubmitFlowAfterOnArrive(nil, lat, n, func() {
+					f.fs.sampleOSTQueue(clientNode, tgt, n)
+				})
+				t.OnDone(done.Complete)
+			})
+		} else {
+			// Partitioned: the chunk crosses to the target's LP one
+			// NetLatency (>= lookahead) after injection finishes, exactly
+			// where SubmitAfter's arrival event would run. The persistence
+			// ack exploits precomputability: service times are noise-free,
+			// so at service start the completion instant start+d is known
+			// a full TargetPerOp (>= lookahead) ahead, and the ack is
+			// shipped back to the client LP as a future-stamped event.
+			tgtLP, tk := f.fs.targetLP[tgt], f.fs.targetK[tgt]
+			d := srv.ServiceTime(n)
+			tx.OnDone(func() {
+				k.ScheduleRemote(tgtLP, k.Now()+lat, func() {
+					f.fs.sampleOSTQueue(clientNode, tgt, n)
+					srv.SubmitFlowOnStart(nil, n, func() {
+						tk.ScheduleRemote(clientNode, tk.Now()+d, done.Complete)
+					})
+				})
+			})
+		}
 		futs = append(futs, done)
 	}
-	out := f.fs.k.Join(futs...)
+	out := k.Join(futs...)
 	f.fs.observeIO(probe.KindFSWrite, clientNode, off, size, out)
 	return out
 }
@@ -269,6 +405,8 @@ func (f *File) AIOWrite(clientNode int, off, size int64, data []byte) *sim.Futur
 
 // record stores data and tracks written ranges.
 func (f *File) record(off, size int64, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.writes++
 	f.bytes += size
 	if size == 0 {
@@ -354,6 +492,12 @@ func (f *File) startRead(clientNode int, off, size int64, buf []byte) *sim.Futur
 	if buf != nil && int64(len(buf)) != size {
 		panic("simfs: read buffer length does not match size")
 	}
+	if f.fs.part != nil {
+		// The read path submits at the target instantly (zero lookahead
+		// from client to target); the exp-layer gate routes read specs to
+		// the sequential executor, so reaching here is a programming error.
+		panic("simfs: read path is not supported under partitioned execution")
+	}
 	f.reads++
 	ctr := f.fs.probe.Counters()
 	ctr.Add(probe.CtrFSReads, 1)
@@ -376,12 +520,16 @@ func (f *File) startRead(clientNode int, off, size int64, buf []byte) *sim.Futur
 		srv := f.fs.targets[tgt]
 		f.fs.observeChunk(clientNode, tgt, n)
 		if local {
-			futs = append(futs, srv.SubmitAfter(f.fs.cfg.ClientPerOp, n))
+			futs = append(futs, srv.SubmitFlowAfterOnArrive(nil, f.fs.cfg.ClientPerOp, n, func() {
+				f.fs.sampleOSTQueue(clientNode, tgt, n)
+			}))
 			continue
 		}
 		// Remote: the target serves the chunk, then it crosses the
-		// wire into the client NIC.
+		// wire into the client NIC. Reads submit at the target instantly,
+		// so arrival coincides with submission.
 		done := f.fs.k.NewFuture()
+		f.fs.sampleOSTQueue(clientNode, tgt, n)
 		t := srv.Submit(n)
 		lat := f.fs.cfg.NetLatency
 		cl := f.fs.net.TxServer(clientNode)

@@ -39,13 +39,29 @@ type Config struct {
 	LinkNoise func(rng func() float64) float64
 }
 
-// Node is one compute node's network endpoints.
+// Node is one compute node's network endpoints. k is the kernel the
+// node's servers live on: the shared kernel of a sequential run, or the
+// node's own LP kernel under partitioned execution.
 type Node struct {
 	ID  int
+	k   *sim.Kernel
 	tx  *sim.Server
 	rx  *sim.Server
 	ipc *sim.Server
 	mem *sim.Server
+}
+
+// netShard is the per-LP slice of the network's mutable host state
+// under partitioned execution: counters, the Transfer free list and the
+// probe sink, each touched only by the owning LP's worker. Padded so
+// adjacent shards never share a cache line across workers.
+type netShard struct {
+	probe         *probe.Probe
+	interBytes    int64
+	intraBytes    int64
+	messages      int64
+	freeTransfers *Transfer
+	_             [24]byte
 }
 
 // Network is the instantiated interconnect.
@@ -54,6 +70,12 @@ type Network struct {
 	cfg   Config
 	nodes []*Node
 	probe *probe.Probe
+
+	// part and shards are set under partitioned execution: node i's
+	// servers live on LP i's kernel and all mutable host state moves
+	// into shards[i] (see NewPartitioned).
+	part   *sim.Partition
+	shards []netShard
 
 	// Cumulative transferred bytes, for reporting.
 	interBytes int64
@@ -81,13 +103,7 @@ func New(k *sim.Kernel, cfg Config) *Network {
 		noise = func() float64 { return cfg.LinkNoise(rng.Float64) }
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		nd := &Node{
-			ID:  i,
-			tx:  k.NewServer(fmt.Sprintf("node%d.tx", i), cfg.InterBandwidth, 0),
-			rx:  k.NewServer(fmt.Sprintf("node%d.rx", i), cfg.InterBandwidth, 0),
-			ipc: k.NewServer(fmt.Sprintf("node%d.ipc", i), cfg.IntraBandwidth, 0),
-			mem: k.NewServer(fmt.Sprintf("node%d.mem", i), cfg.MemBandwidth, 0),
-		}
+		nd := newNode(k, cfg, i)
 		if cfg.LinkNoise != nil {
 			nd.tx.Noise = noise
 			nd.rx.Noise = noise
@@ -97,12 +113,76 @@ func New(k *sim.Kernel, cfg Config) *Network {
 	return n
 }
 
-// Kernel returns the owning kernel.
+// NewPartitioned builds a network whose node i lives entirely on LP i
+// of part: servers, counters, free lists and probe sinks are all
+// node-local, so windows on different LPs never share network state.
+// Cross-node interactions ride the partition mailboxes with delay >=
+// InterLatency — the lookahead that makes conservative execution safe.
+// LinkNoise is rejected: a noise stream drawn from one shared RNG in
+// global submission order is a zero-lookahead coupling between all
+// nodes, exactly the case that must fall back to sequential execution.
+func NewPartitioned(part *sim.Partition, cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic("simnet: Config.Nodes must be positive")
+	}
+	if cfg.LinkNoise != nil {
+		panic("simnet: LinkNoise is a zero-lookahead coupling; partitioned execution requires a noise-free config")
+	}
+	if part.NKernels() < cfg.Nodes {
+		panic("simnet: partition has fewer LPs than nodes")
+	}
+	if cfg.InterLatency < part.Lookahead() {
+		panic("simnet: InterLatency below partition lookahead")
+	}
+	n := &Network{
+		k:      part.Kernel(0),
+		cfg:    cfg,
+		part:   part,
+		shards: make([]netShard, cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n.nodes = append(n.nodes, newNode(part.Kernel(i), cfg, i))
+	}
+	return n
+}
+
+func newNode(k *sim.Kernel, cfg Config, i int) *Node {
+	return &Node{
+		ID:  i,
+		k:   k,
+		tx:  k.NewServer(fmt.Sprintf("node%d.tx", i), cfg.InterBandwidth, 0),
+		rx:  k.NewServer(fmt.Sprintf("node%d.rx", i), cfg.InterBandwidth, 0),
+		ipc: k.NewServer(fmt.Sprintf("node%d.ipc", i), cfg.IntraBandwidth, 0),
+		mem: k.NewServer(fmt.Sprintf("node%d.mem", i), cfg.MemBandwidth, 0),
+	}
+}
+
+// Kernel returns the owning kernel (LP 0's under partitioned
+// execution).
 func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// KernelFor returns the kernel node i's servers live on: the shared
+// kernel of a sequential run, or node i's LP kernel when partitioned.
+func (n *Network) KernelFor(node int) *sim.Kernel { return n.nodes[node].k }
+
+// Partition returns the LP partition this network runs on, or nil for a
+// sequential network. Upper layers use it to decide whether to shard
+// their own per-LP state.
+func (n *Network) Partition() *sim.Partition { return n.part }
 
 // SetProbe attaches an observability probe (nil detaches). Probing only
 // observes — it never alters transfer timing.
 func (n *Network) SetProbe(p *probe.Probe) { n.probe = p }
+
+// SetProbeShards attaches one probe sink per LP for partitioned
+// execution: sends emit into the source node's shard, deliveries into
+// the destination node's. A canonical fold (probe.MergeShards) restores
+// the sequential emission order afterwards.
+func (n *Network) SetProbeShards(shards []*probe.Probe) {
+	for i := range n.shards {
+		n.shards[i].probe = shards[i]
+	}
+}
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -131,12 +211,18 @@ type Transfer struct {
 }
 
 // newTransfer takes a handle from the free list (or allocates one).
+// Partitioned runs pool per source LP so concurrent windows never race
+// on the list head.
 func (n *Network) newTransfer(size int64, from, to int) *Transfer {
-	tr := n.freeTransfers
+	head := &n.freeTransfers
+	if n.shards != nil {
+		head = &n.shards[from].freeTransfers
+	}
+	tr := *head
 	if tr == nil {
 		return &Transfer{Size: size, From: from, To: to}
 	}
-	n.freeTransfers = tr.next
+	*head = tr.next
 	*tr = Transfer{Size: size, From: from, To: to}
 	return tr
 }
@@ -144,10 +230,17 @@ func (n *Network) newTransfer(size int64, from, to int) *Transfer {
 // Release clears a transfer handle's references and returns it to the
 // free list. Callers must have extracted or registered everything they
 // need from the handle first: the futures keep completing on their own,
-// but the handle's fields may be overwritten by the next Send.
+// but the handle's fields may be overwritten by the next Send. Under
+// partitioned execution a handle must be released by its sending LP
+// (every call site releases at the Send call site, so this holds by
+// construction); it returns to that LP's pool.
 func (n *Network) Release(tr *Transfer) {
-	*tr = Transfer{next: n.freeTransfers}
-	n.freeTransfers = tr
+	head := &n.freeTransfers
+	if n.shards != nil {
+		head = &n.shards[tr.From].freeTransfers
+	}
+	*tr = Transfer{next: *head}
+	*head = tr
 }
 
 // Send moves size bytes from node `from` to node `to` and returns the
@@ -167,20 +260,23 @@ func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer
 	if size < 0 {
 		panic("simnet: negative transfer size")
 	}
+	if n.part != nil {
+		return n.sendFlowPartitioned(flow, from, to, size)
+	}
 	n.messages++
 	tr := n.newTransfer(size, from, to)
 	if from == to {
 		n.intraBytes += size
-		n.observeSend(tr, probe.CauseIntra, n.nodes[from].ipc)
+		n.observeSend(n.probe, tr, probe.CauseIntra, n.nodes[from].ipc)
 		f := n.nodes[from].ipc.SubmitFlowAfter(flow, n.cfg.IntraLatency, size)
 		tr.Injected = f
 		tr.Delivered = f
-		n.observeDeliver(tr)
+		n.observeDeliver(n.probe, n.k, tr)
 		return tr
 	}
 	n.interBytes += size
 	src, dst := n.nodes[from], n.nodes[to]
-	n.observeSend(tr, probe.CauseInter, src.tx)
+	n.observeSend(n.probe, tr, probe.CauseInter, src.tx)
 	// The first byte reaches the destination one wire latency after the
 	// source NIC starts transmitting; tx and rx then stream concurrently
 	// (cut-through), so delivery completes when both ports have finished.
@@ -191,19 +287,83 @@ func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer
 		inner.OnDone(rxDone.Complete)
 	})
 	tr.Delivered = n.k.Join(tr.Injected, rxDone)
-	n.observeDeliver(tr)
+	n.observeDeliver(n.probe, n.k, tr)
 	return tr
 }
 
-// observeSend emits the submit-time events for one transfer: the send
-// itself plus an injection-port occupancy sample (depth before this
-// request joins the queue).
-func (n *Network) observeSend(tr *Transfer, path probe.Cause, port *sim.Server) {
-	p := n.probe
+// sendFlowPartitioned is the SendFlow path under partitioned
+// execution. The caller must be running on the source node's LP (all
+// senders in this codebase are: ranks, engines and node-local services
+// pin to their node's kernel). Intra-node sends stay entirely on one
+// LP. Inter-node sends replicate the sequential event chain with the
+// destination half living on the destination LP:
+//
+//   - The rx-leg submission crosses LPs at txStart+InterLatency >=
+//     lookahead — the same After(InterLatency) hop the sequential path
+//     schedules, so event keys and zero-delay hop depths line up and
+//     the merged event order is bit-identical.
+//   - The sequential Delivered = Join(Injected, rxDone) would share a
+//     countdown between two LPs; instead the destination joins rxDone
+//     with a tx-completion stub. Service times are deterministic here
+//     (no noise), so the tx leg's completion instant txStart+d is known
+//     at transmission start and can be sent ahead as a future-stamped
+//     message — precomputability converts the tx-done edge's zero
+//     delay into usable lookahead. The stub completes strictly before
+//     the rx leg finishes (rx starts one latency later and serves at
+//     the same bandwidth), so Delivered still completes at the rx
+//     instant with the sequential hop depth.
+func (n *Network) sendFlowPartitioned(flow interface{}, from, to int, size int64) *Transfer {
+	sh := &n.shards[from]
+	sh.messages++
+	tr := n.newTransfer(size, from, to)
+	src := n.nodes[from]
+	if from == to {
+		sh.intraBytes += size
+		n.observeSend(sh.probe, tr, probe.CauseIntra, src.ipc)
+		f := src.ipc.SubmitFlowAfter(flow, n.cfg.IntraLatency, size)
+		tr.Injected = f
+		tr.Delivered = f
+		n.observeDeliver(sh.probe, src.k, tr)
+		return tr
+	}
+	sh.interBytes += size
+	dst := n.nodes[to]
+	n.observeSend(sh.probe, tr, probe.CauseInter, src.tx)
+	// Destination-side futures are created and wired here, before the
+	// window barrier first exposes them to the destination LP — the
+	// barrier's happens-before edge transfers ownership.
+	outer := dst.k.NewFuture()
+	rxDone := dst.k.NewFuture()
+	txStub := dst.k.NewFuture()
+	outer.OnDone(rxDone.Complete)
+	tr.Delivered = dst.k.Join(txStub, rxDone)
+	lat := n.cfg.InterLatency
+	d := src.tx.ServiceTime(size)
+	srcK, toLP := src.k, to
+	tr.Injected = src.tx.SubmitFlowOnStart(flow, size, func() {
+		txStart := srcK.Now()
+		srcK.ScheduleRemote(toLP, txStart+lat, func() {
+			inner := dst.rx.SubmitFlow(flow, size)
+			inner.OnDone(outer.Complete)
+		})
+		stubAt := txStart + d
+		if stubAt < txStart+lat {
+			stubAt = txStart + lat
+		}
+		srcK.ScheduleRemote(toLP, stubAt, txStub.Complete)
+	})
+	n.observeDeliver(n.shards[to].probe, dst.k, tr)
+	return tr
+}
+
+// observeSend emits the submit-time events for one transfer into the
+// sending LP's probe: the send itself plus an injection-port occupancy
+// sample (depth before this request joins the queue).
+func (n *Network) observeSend(p *probe.Probe, tr *Transfer, path probe.Cause, port *sim.Server) {
 	if p == nil {
 		return
 	}
-	now := n.k.Now()
+	now := n.nodes[tr.From].k.Now()
 	p.Emit(probe.Event{
 		At: now, Layer: probe.LayerNet, Kind: probe.KindNetSend,
 		Cause: path, Rank: tr.From, Peer: tr.To, Cycle: -1, Size: tr.Size,
@@ -223,16 +383,16 @@ func (n *Network) observeSend(tr *Transfer, path probe.Cause, port *sim.Server) 
 }
 
 // observeDeliver registers a delivery event on the transfer's completion
-// future. The extra zero-delay callback cannot reorder pre-existing
-// kernel events (see package probe), so probing stays digest-invariant.
-// The handle may be released (and recycled) before delivery, so the
-// callback captures the fields, never the handle.
-func (n *Network) observeDeliver(tr *Transfer) {
-	p := n.probe
+// future, emitting into the probe of the LP the completion fires on
+// (the destination's, under partitioned execution). The extra
+// zero-delay callback cannot reorder pre-existing kernel events (see
+// package probe), so probing stays digest-invariant. The handle may be
+// released (and recycled) before delivery, so the callback captures
+// the fields, never the handle.
+func (n *Network) observeDeliver(p *probe.Probe, k *sim.Kernel, tr *Transfer) {
 	if p == nil {
 		return
 	}
-	k := n.k
 	from, to, size := tr.From, tr.To, tr.Size
 	tr.Delivered.OnDone(func() {
 		p.Emit(probe.Event{
@@ -254,7 +414,15 @@ func (n *Network) Memcpy(node int, size int64) *sim.Future {
 func (n *Network) TxServer(node int) *sim.Server { return n.nodes[node].tx }
 
 // Stats returns cumulative inter-node bytes, intra-node bytes and
-// message count.
+// message count, folding per-LP shards under partitioned execution
+// (sums commute, so the fold order is immaterial).
 func (n *Network) Stats() (inter, intra, messages int64) {
-	return n.interBytes, n.intraBytes, n.messages
+	inter, intra, messages = n.interBytes, n.intraBytes, n.messages
+	for i := range n.shards {
+		sh := &n.shards[i]
+		inter += sh.interBytes
+		intra += sh.intraBytes
+		messages += sh.messages
+	}
+	return inter, intra, messages
 }
