@@ -14,8 +14,11 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -time prints per-analyzer wall time so a slow analyzer shows up in
+# the gate, not in a profiler session later. Results are cached
+# per-package (keyed by source+config hash) under the user cache dir.
 collvet:
-	$(GO) run ./cmd/collvet ./...
+	$(GO) run ./cmd/collvet -time ./...
 
 test:
 	$(GO) test ./...

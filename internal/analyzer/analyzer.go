@@ -32,6 +32,25 @@
 //	                     a goroutine boundary outside the kernel (the
 //	                     parallel sweep runner's one-kernel-per-worker
 //	                     rule)
+//	maporder             no trace/probe emission, event scheduling or
+//	                     plan-arena append inside a range over a map in
+//	                     the deterministic zone (iteration order is
+//	                     randomized per process)
+//	poolpath             pooled simnet.Transfer / mpi.Request handles
+//	                     are released on every path, exactly once, and
+//	                     never used after release (path-sensitive over
+//	                     the CFG)
+//	simtime              no sim.Time <-> time.Duration casts and no raw
+//	                     byte count cast to sim.Time without a cost
+//	                     scale inside the deterministic zone
+//	lookahead            no ScheduleRemote with a statically-known delta
+//	                     below the partition lookahead, and no cross-LP
+//	                     kernel access from inside a remote callback
+//
+// A human can overrule one finding with an audited waiver —
+// `//collvet:ignore <analyzer> -- <reason>` on the diagnostic's line or
+// the line above (see suppress.go); a waiver without a reason is itself
+// a finding.
 package analyzer
 
 import (
@@ -40,6 +59,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one analyzer finding at a resolved source position.
@@ -80,7 +100,9 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// All returns the full collvet suite in stable order.
+// All returns the full collvet suite in stable order. The first six
+// are per-node syntactic matchers; the last four are flow-sensitive
+// analyzers over the CFG/dataflow core (cfg.go, dataflow.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		RequestLeak,
@@ -89,6 +111,10 @@ func All() []*Analyzer {
 		BlockingOutsideRank,
 		PayloadAlias,
 		KernelShare,
+		MapOrder,
+		PoolPath,
+		SimTime,
+		Lookahead,
 	}
 }
 
@@ -102,25 +128,67 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run applies each analyzer to each package and returns all diagnostics
-// sorted by position.
+// RunStats describes one Run: wall time per analyzer (summed over
+// packages), the number of diagnostics dropped by //collvet:ignore
+// suppressions, and — for RunCached — how many packages were served
+// from the result cache versus analyzed fresh.
+type RunStats struct {
+	Elapsed     map[string]time.Duration
+	Suppressed  int
+	CacheHits   int
+	CacheMisses int
+}
+
+// Run applies each analyzer to each package, applies //collvet:ignore
+// suppressions, and returns the surviving diagnostics sorted by
+// position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	diags, _, err := RunWithStats(pkgs, analyzers)
+	return diags, err
+}
+
+// RunWithStats is Run plus per-analyzer timing and suppression counts.
+func RunWithStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, RunStats, error) {
+	stats := RunStats{Elapsed: map[string]time.Duration{}}
+	var all []Diagnostic
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
-			}
+		diags, suppressed, err := runPackage(pkg, analyzers, stats.Elapsed)
+		if err != nil {
+			return nil, stats, err
 		}
+		stats.Suppressed += suppressed
+		all = append(all, diags...)
 	}
+	sortDiagnostics(all)
+	return all, stats, nil
+}
+
+// runPackage analyzes one package and resolves its suppression
+// comments (which can only cover diagnostics in the package's own
+// files, so per-package filtering is exact). elapsed accumulates
+// per-analyzer wall time.
+func runPackage(pkg *Package, analyzers []*Analyzer, elapsed map[string]time.Duration) ([]Diagnostic, int, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		start := time.Now()
+		if err := a.Run(pass); err != nil {
+			return nil, 0, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
+		}
+		elapsed[a.Name] += time.Since(start)
+	}
+	kept, suppressed := applySuppressions([]*Package{pkg}, diags)
+	return kept, suppressed, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -134,7 +202,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // ---- shared type-resolution helpers ----

@@ -1,0 +1,122 @@
+package analyzer
+
+// A miniature worklist dataflow solver over the CFGs of cfg.go. It is
+// deliberately tiny: facts are whatever map/struct an analyzer wants,
+// the lattice is expressed through two callbacks (join, transfer), and
+// may/must distinctions live entirely inside the analyzer's fact
+// encoding (poolpath, for example, keeps a bitmask of possible handle
+// states per object, so "must be released" is the singleton {released}
+// and "released on some path only" is {live, released}).
+//
+// Protocol:
+//
+//   - transfer(b, in) returns the fact at the end of block b given the
+//     fact at its start. It must treat `in` as read-only (copy before
+//     mutating) — the solver hands the same stored value to every
+//     invocation.
+//   - join(dst, src) merges src into a copy of dst and reports whether
+//     the result differs from dst. The solver re-queues a block only
+//     when join reports change, so equality must be exact.
+//
+// Solving is iterative to fixpoint; with monotone transfer functions
+// over finite lattices (every analyzer here uses small bitmask or
+// constant lattices) termination is immediate. After solving, run a
+// separate reporting pass over in-facts — transfer functions must not
+// report diagnostics themselves, or fixpoint iteration would duplicate
+// them.
+
+// Facts holds the solved dataflow facts at the entry (forward) or exit
+// (backward) of each block.
+type Facts[F any] map[*Block]F
+
+// ForwardSolve computes, for every block, the fact holding at block
+// entry. entry is the boundary fact at the function's entry block;
+// bottom supplies the initial fact for all other blocks (typically an
+// empty map: "nothing known / unreachable").
+func ForwardSolve[F any](cfg *CFG, entry F, bottom func() F,
+	join func(dst, src F) (F, bool),
+	transfer func(b *Block, in F) F,
+) Facts[F] {
+	in := make(Facts[F], len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		in[b] = bottom()
+	}
+	if len(cfg.Blocks) > 0 {
+		in[cfg.Blocks[0]] = entry
+	}
+	work := make([]*Block, 0, len(cfg.Blocks))
+	queued := make([]bool, len(cfg.Blocks))
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	// Seed every block, not just the entry: blocks whose only incoming
+	// fact equals bottom would otherwise never run their transfer and
+	// never propagate (a pure gen-block feeding a bottom-fact successor
+	// produces no "change" at the seed alone).
+	for _, blk := range cfg.Blocks {
+		push(blk)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := transfer(b, in[b])
+		for _, s := range b.Succs {
+			merged, changed := join(in[s], out)
+			if changed {
+				in[s] = merged
+				push(s)
+			}
+		}
+	}
+	return in
+}
+
+// BackwardSolve is the mirror image: it computes, for every block, the
+// fact holding at block *exit*, propagating facts from Exit toward the
+// entry along reversed edges. transfer(b, out) returns the fact at the
+// start of b given the fact at its end; the result of a start fact is
+// joined into each predecessor's exit fact.
+func BackwardSolve[F any](cfg *CFG, exit F, bottom func() F,
+	join func(dst, src F) (F, bool),
+	transfer func(b *Block, out F) F,
+) Facts[F] {
+	outF := make(Facts[F], len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		outF[b] = bottom()
+	}
+	if cfg.Exit != nil {
+		outF[cfg.Exit] = exit
+	}
+	work := make([]*Block, 0, len(cfg.Blocks))
+	queued := make([]bool, len(cfg.Blocks))
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	// Seed every block (see ForwardSolve) — reversed here, so transfer
+	// runs at least once per block even when all boundary facts equal
+	// bottom (liveness: gen sets must flow without a seed delta).
+	for i := len(cfg.Blocks) - 1; i >= 0; i-- {
+		push(cfg.Blocks[i])
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		start := transfer(b, outF[b])
+		for _, p := range b.Preds {
+			merged, changed := join(outF[p], start)
+			if changed {
+				outF[p] = merged
+				push(p)
+			}
+		}
+	}
+	return outF
+}

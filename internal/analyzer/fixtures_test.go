@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
@@ -126,12 +127,20 @@ func collectWants(t *testing.T, fset *token.FileSet, pkgs []*Package) []*expecta
 // over them, and reconciles diagnostics against want comments.
 func runFixtureTest(t *testing.T, a *Analyzer, paths ...string) {
 	t.Helper()
+	runFixtureAnalyzers(t, []*Analyzer{a}, paths...)
+}
+
+// runFixtureAnalyzers is runFixtureTest for a set of analyzers run
+// together (the suppression fixtures need two analyzers reporting on
+// the same line).
+func runFixtureAnalyzers(t *testing.T, analyzers []*Analyzer, paths ...string) {
+	t.Helper()
 	l := newFixtureLoader(t)
 	var pkgs []*Package
 	for _, p := range paths {
 		pkgs = append(pkgs, l.load(p))
 	}
-	diags, err := Run(pkgs, []*Analyzer{a})
+	diags, err := Run(pkgs, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,6 +188,54 @@ func TestPayloadAliasFixtures(t *testing.T) {
 
 func TestKernelShareFixtures(t *testing.T) {
 	runFixtureTest(t, KernelShare, "kernelshare")
+}
+
+func TestPoolPathFixtures(t *testing.T) {
+	runFixtureTest(t, PoolPath, "poolpath")
+}
+
+func TestMapOrderFixtures(t *testing.T) {
+	runFixtureTest(t, MapOrder, "maporder/internal/fcoll", "maporder/tools")
+}
+
+func TestSimTimeFixtures(t *testing.T) {
+	runFixtureTest(t, SimTime, "simtime/internal/fcoll")
+}
+
+func TestLookaheadFixtures(t *testing.T) {
+	runFixtureTest(t, Lookahead, "lookahead")
+}
+
+// TestPoolPathSubsumesPayloadAliasRetention pins the acceptance
+// criterion that poolpath generalizes the straight-line pool-retention
+// rule: every pooled-handle diagnostic payloadalias produces on its own
+// fixtures must also be produced — same file, line, and message — by
+// poolpath. (poolpath may report MORE: it also sees leaks the
+// straight-line rule cannot, e.g. a handle left live at return.)
+func TestPoolPathSubsumesPayloadAliasRetention(t *testing.T) {
+	l := newFixtureLoader(t)
+	pkgs := []*Package{l.load("payloadalias")}
+	old, err := Run(pkgs, []*Analyzer{PayloadAlias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := Run(pkgs, []*Analyzer{PoolPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range neu {
+		got[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Message)] = true
+	}
+	for _, d := range old {
+		if !strings.HasPrefix(d.Message, "pooled handle") {
+			continue // buffer-aliasing rule: not poolpath's concern
+		}
+		key := fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Message)
+		if !got[key] {
+			t.Errorf("payloadalias retention diagnostic not subsumed by poolpath: %s", d)
+		}
+	}
 }
 
 // TestTreeIsClean is the self-check the verify pipeline leans on: the

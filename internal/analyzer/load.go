@@ -26,20 +26,32 @@ type Package struct {
 }
 
 // listedPackage is the subset of `go list -json` output the loader
-// consumes.
+// consumes. Deps and DepOnly are populated only when listing with
+// -deps (the result-cache path): Deps is the transitive import
+// closure, DepOnly marks packages present only as dependencies of the
+// requested patterns.
 type listedPackage struct {
 	Dir        string
 	ImportPath string
 	Name       string
 	GoFiles    []string
 	Standard   bool
+	Deps       []string
+	DepOnly    bool
 	Error      *struct{ Err string }
 }
 
 // goList enumerates the packages matching patterns via the go tool,
-// which keeps the loader free of any module-resolution logic of its own.
-func goList(dir string, patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles,Standard"}, patterns...)
+// which keeps the loader free of any module-resolution logic of its
+// own. With deps set, the transitive import closure is listed too, in
+// dependency order (every package after all of its dependencies).
+func goList(dir string, patterns []string, deps bool) ([]listedPackage, error) {
+	args := []string{"list"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "-json=Dir,ImportPath,Name,GoFiles,Standard,Deps,DepOnly")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -86,7 +98,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	listed, err := goList(dir, patterns)
+	listed, err := goList(dir, patterns, false)
 	if err != nil {
 		return nil, err
 	}
@@ -101,28 +113,38 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if lp.Standard || len(lp.GoFiles) == 0 {
 			continue
 		}
-		var files []*ast.File
-		for _, name := range lp.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("parsing %s: %v", name, err)
-			}
-			files = append(files, f)
-		}
-		info := newInfo()
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		pkg, err := loadListed(fset, imp, lp)
 		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+			return nil, err
 		}
-		pkgs = append(pkgs, &Package{
-			Path:  lp.ImportPath,
-			Dir:   lp.Dir,
-			Fset:  fset,
-			Files: files,
-			Types: tpkg,
-			Info:  info,
-		})
+		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// loadListed parses and type-checks one listed package into the shared
+// file set.
+func loadListed(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
 }

@@ -1,0 +1,444 @@
+package analyzer
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PoolPath is the flow-sensitive generalization of payloadalias's
+// pool-retention rule. Where payloadalias scans one function in source
+// order — so it can only see "handle used after the textually earlier
+// Release" — poolpath runs a may-analysis over the function's CFG
+// (cfg.go) and reports three lifetime violations for pooled handles
+// (*simnet.Transfer, recycled by Network.Release; *mpi.Request,
+// recycled by Rank.Wait):
+//
+//   - use after release on ANY path (subsumes payloadalias's rule, and
+//     additionally catches "released in one branch, used after the
+//     join");
+//   - double release: a Release/Wait reached by a path on which the
+//     handle is already back on the free list;
+//   - leak: an acquire with a path to return on which the handle is
+//     never released — including reassigning the variable to a fresh
+//     handle while the previous one may still be live.
+//
+// Facts are a bitmask per handle object: poolLive means "may hold an
+// unreleased handle", poolRel means "may be on the free list"; the join
+// is bitwise-or, so poolLive|poolRel reads "released on some paths but
+// not all". A handle that escapes — returned, passed to a non-release
+// call, aliased, stored, or captured by a closure while live — is
+// conservatively untracked (the callee or callback owns the release).
+// Deferred releases count on every exit path. Functions containing goto
+// are skipped (CFG.Unstructured).
+var PoolPath = &Analyzer{
+	Name: "poolpath",
+	Doc:  "flag pooled Request/Transfer handles released on only some paths, double-released, or used past release",
+	Run:  runPoolPath,
+}
+
+const (
+	poolLive = 1 << iota // may hold an unreleased handle
+	poolRel              // may be on the free list
+)
+
+// poolHandleKind reports whether t is a pooled-handle type and, if so,
+// the name of the operation that recycles it. Matching is by package
+// NAME so the testdata stubs behave like the real packages.
+func poolHandleKind(t types.Type) (releaseOp string, ok bool) {
+	ptr, isPtr := t.(*types.Pointer)
+	if !isPtr {
+		return "", false
+	}
+	named, isNamed := ptr.Elem().(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case named.Obj().Name() == "Transfer" && named.Obj().Pkg().Name() == "simnet":
+		return "Network.Release", true
+	case named.Obj().Name() == "Request" && named.Obj().Pkg().Name() == "mpi":
+		return "Wait", true
+	}
+	return "", false
+}
+
+// poolFact is the per-object lattice element. relOp remembers which
+// recycler put the handle on the free list, for the diagnostic text.
+type poolFact struct {
+	mask  uint8
+	relOp string
+}
+
+type poolState map[types.Object]poolFact
+
+func (s poolState) clone() poolState {
+	c := make(poolState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// joinPool merges src into a copy of dst (may-union).
+func joinPool(dst, src poolState) (poolState, bool) {
+	changed := false
+	merged := dst
+	for obj, sf := range src {
+		df, ok := merged[obj]
+		nf := poolFact{mask: df.mask | sf.mask, relOp: df.relOp}
+		if nf.relOp == "" {
+			nf.relOp = sf.relOp
+		}
+		if !ok || nf != df {
+			if !changed {
+				merged = dst.clone()
+				changed = true
+			}
+			merged[obj] = nf
+		}
+	}
+	return merged, changed
+}
+
+func runPoolPath(pass *Pass) error {
+	for _, fb := range funcDecls(pass.Files) {
+		checkPoolPathBody(pass, fb.decl.Body)
+	}
+	return nil
+}
+
+func checkPoolPathBody(pass *Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	cfg := NewCFG(body)
+	if cfg.Unstructured {
+		return
+	}
+
+	pp := &poolPather{pass: pass}
+	facts := ForwardSolve(cfg, poolState{},
+		func() poolState { return poolState{} },
+		joinPool,
+		pp.transfer,
+	)
+
+	// Reporting pass: re-run each block's transfer from its solved
+	// in-fact with reporting enabled. Doing this after the fixpoint
+	// (rather than inside the solve) keeps each diagnostic single.
+	pp.reporting = true
+	for _, b := range cfg.Blocks {
+		pp.transfer(b, facts[b])
+	}
+
+	// Exit check: apply deferred releases, then anything that may still
+	// be live leaks on some path.
+	exit := facts[cfg.Exit].clone()
+	for _, d := range cfg.Defers {
+		fn := calleeFunc(pass.Info, d)
+		if isMethod(fn, "simnet", "Release") || (isMethod(fn, "mpi", "Wait") && !d.Ellipsis.IsValid()) {
+			for _, a := range d.Args {
+				if obj := argIdentObj(pass, a); obj != nil {
+					delete(exit, obj)
+				}
+			}
+		}
+	}
+	if len(cfg.Exit.Preds) > 0 { // unreachable exit: nothing returns
+		type leak struct {
+			pos token.Pos
+			obj types.Object
+			op  string
+		}
+		var leaks []leak
+		for obj, f := range exit {
+			if f.mask&poolLive == 0 {
+				continue
+			}
+			pos, op := pp.acquireSite(obj)
+			if !pos.IsValid() {
+				continue // released-param tracking only; no acquire here
+			}
+			leaks = append(leaks, leak{pos, obj, op})
+		}
+		sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+		for _, l := range leaks {
+			suffix := ""
+			if exit[l.obj].mask&poolRel != 0 {
+				suffix = " (released on some paths but not all)"
+			}
+			pass.Reportf(l.pos,
+				"pooled handle %q acquired here may reach return without %s%s: it leaks from the free list",
+				l.obj.Name(), l.op, suffix)
+		}
+	}
+
+	// Nested closures get their own independent walk: inside the outer
+	// CFG a FuncLit body is opaque (captured handles escape), but the
+	// closure's own acquire/release discipline is checked separately.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkPoolPathBody(pass, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// poolPather carries the per-function bookkeeping shared between the
+// solve and the reporting pass.
+type poolPather struct {
+	pass      *Pass
+	reporting bool
+	// acquires records, per object, the position and recycler-op of its
+	// acquire sites seen during the reporting pass.
+	acquires map[types.Object][]acquireSite
+}
+
+type acquireSite struct {
+	pos token.Pos
+	op  string
+}
+
+func (pp *poolPather) acquireSite(obj types.Object) (token.Pos, string) {
+	sites := pp.acquires[obj]
+	if len(sites) == 0 {
+		return token.NoPos, ""
+	}
+	// Report the last acquire: with rebinding, the earlier epochs were
+	// closed (or already reported as reassign-before-release).
+	s := sites[len(sites)-1]
+	return s.pos, s.op
+}
+
+func (pp *poolPather) report(pos token.Pos, format string, args ...interface{}) {
+	if pp.reporting {
+		pp.pass.Reportf(pos, format, args...)
+	}
+}
+
+// transfer interprets one block. The same function implements both the
+// solver's transfer and the reporting pass (pp.reporting set, called
+// once per block from the solved in-fact).
+func (pp *poolPather) transfer(b *Block, in poolState) poolState {
+	st := in.clone()
+	for _, n := range b.Nodes {
+		pp.node(n, st)
+	}
+	return st
+}
+
+// node processes one atomic CFG node in program order: closures first
+// (captured handles), then releases, then acquires, then remaining
+// ident uses/escapes.
+func (pp *poolPather) node(n ast.Node, st poolState) {
+	handled := map[*ast.Ident]bool{}
+
+	// 0. Defers: the deferred call runs at function exit, not here —
+	// the exit check in checkPoolPathBody applies CFG.Defers. Mark the
+	// whole subtree handled so a `defer net.Release(tr)` is neither an
+	// immediate release nor a use.
+	ast.Inspect(n, func(x ast.Node) bool {
+		ds, ok := x.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ds, func(y ast.Node) bool {
+			if id, ok := y.(*ast.Ident); ok {
+				handled[id] = true
+			}
+			return true
+		})
+		return false
+	})
+
+	// 1. Closures: a tracked handle captured while live escapes (the
+	// callback owns it now); captured after release it is a use-after.
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.DeferStmt); ok {
+			return false
+		}
+		fl, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(y ast.Node) bool {
+			id, ok := y.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if handled[id] {
+				return true
+			}
+			handled[id] = true
+			obj := identObj(pp.pass.Info, id)
+			if obj == nil {
+				return true
+			}
+			if f, tracked := st[obj]; tracked {
+				if f.mask&poolRel != 0 {
+					pp.report(id.Pos(),
+						"pooled handle %q used after %s: it is on the free list and the next operation may recycle it",
+						obj.Name(), f.relOp)
+				} else {
+					delete(st, obj) // escapes into the closure
+				}
+			}
+			return true
+		})
+		return false // body idents handled above; skip generic walk
+	})
+
+	// 2. Release calls: Network.Release(tr), Rank.Wait(q) (non-spread —
+	// Wait(reqs...) recycles through a slice the caller reuses).
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pp.pass.Info, call)
+		var args []ast.Expr
+		var op string
+		switch {
+		case isMethod(fn, "simnet", "Release") && len(call.Args) == 1:
+			args, op = call.Args, "Network.Release"
+		case isMethod(fn, "mpi", "Wait") && !call.Ellipsis.IsValid():
+			args, op = call.Args, "Wait"
+		default:
+			return true
+		}
+		for _, a := range args {
+			id, ok := ast.Unparen(a).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			handled[id] = true
+			obj := identObj(pp.pass.Info, id)
+			if obj == nil {
+				continue
+			}
+			if f, tracked := st[obj]; tracked && f.mask&poolRel != 0 {
+				pp.report(call.Pos(),
+					"pooled handle %q used after %s: it is on the free list and the next operation may recycle it",
+					obj.Name(), f.relOp)
+			}
+			st[obj] = poolFact{mask: poolRel, relOp: op}
+		}
+		return true
+	})
+
+	// 3. Acquires: lhs := call-returning-handle. Overwriting a possibly
+	// still-live handle leaks the previous one.
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		asg, ok := x.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			t := pp.pass.Info.TypeOf(call)
+			if t == nil {
+				continue
+			}
+			op, isHandle := poolHandleKind(t)
+			if !isHandle {
+				continue
+			}
+			id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			handled[id] = true
+			obj := identObj(pp.pass.Info, id)
+			if obj == nil {
+				continue
+			}
+			if f, tracked := st[obj]; tracked && f.mask&poolLive != 0 {
+				pp.report(asg.Pos(),
+					"pooled handle %q reassigned before %s: the previous handle leaks from the free list",
+					obj.Name(), f.relOp2(op))
+			}
+			st[obj] = poolFact{mask: poolLive}
+			if pp.reporting {
+				if pp.acquires == nil {
+					pp.acquires = map[types.Object][]acquireSite{}
+				}
+				pp.acquires[obj] = append(pp.acquires[obj], acquireSite{asg.Pos(), op})
+			}
+		}
+		// A plain rebind (non-handle RHS) closes the epoch for the lhs.
+		for _, lhs := range asg.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || handled[id] {
+				continue
+			}
+			if obj := identObj(pp.pass.Info, id); obj != nil {
+				if _, tracked := st[obj]; tracked {
+					handled[id] = true
+					delete(st, obj)
+				}
+			}
+		}
+		return true
+	})
+
+	// 4. Remaining ident occurrences. After release, ANY occurrence is
+	// a use-after-release. While live, a bare occurrence (anything but
+	// the receiver of a field/method selector) hands the handle to code
+	// this function cannot see — untrack.
+	parents := buildParents(n)
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok || handled[id] {
+			return true
+		}
+		obj := identObj(pp.pass.Info, id)
+		if obj == nil {
+			return true
+		}
+		if pp.pass.Info.Defs[id] != nil {
+			// A fresh binding outside an AssignStmt (a range key/value,
+			// re-bound each iteration): the old value is rebound away,
+			// not used.
+			delete(st, obj)
+			return true
+		}
+		f, tracked := st[obj]
+		if !tracked {
+			return true
+		}
+		if f.mask&poolRel != 0 {
+			pp.report(id.Pos(),
+				"pooled handle %q used after %s: it is on the free list and the next operation may recycle it",
+				obj.Name(), f.relOp)
+			return true
+		}
+		if sel, ok := parents[id].(*ast.SelectorExpr); ok && sel.X == id {
+			return true // field read / method call on the live handle
+		}
+		delete(st, obj) // escapes: return, call arg, alias, store, send
+		return true
+	})
+}
+
+// relOp2 names the expected recycler in the reassign diagnostic: the
+// fact's op when already (partially) released, else the acquire's.
+func (f poolFact) relOp2(acqOp string) string {
+	if f.relOp != "" {
+		return f.relOp
+	}
+	return acqOp
+}

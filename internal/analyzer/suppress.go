@@ -1,0 +1,123 @@
+package analyzer
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments let a human overrule one diagnostic, with an
+// audit trail:
+//
+//	//collvet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// The comment suppresses matching diagnostics on its own line (the
+// trailing-comment form) and on the line directly below (the
+// full-line-comment form). The reason is mandatory: a suppression
+// without one — or with a missing/unknown analyzer name — is itself
+// reported, under the pseudo-analyzer name "collvet", so a bare
+// waiver can never silently disable a check.
+
+const suppressPrefix = "//collvet:ignore"
+
+// suppression is one parsed, well-formed ignore comment.
+type suppression struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+// collectSuppressions parses every ignore comment in pkgs, returning
+// the well-formed suppressions and a diagnostic per malformed one.
+func collectSuppressions(pkgs []*Package) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var bad []Diagnostic
+	report := func(fset *token.FileSet, pos token.Pos, format string, args ...interface{}) {
+		bad = append(bad, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "collvet",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, suppressPrefix) {
+						continue
+					}
+					rest := c.Text[len(suppressPrefix):]
+					names, reason, ok := strings.Cut(rest, "--")
+					if !ok || strings.TrimSpace(reason) == "" {
+						report(pkg.Fset, c.Pos(),
+							"suppression without a reason: write //collvet:ignore <analyzer> -- <why this finding is safe here>")
+						continue
+					}
+					var set map[string]bool
+					malformed := false
+					for _, name := range strings.Split(names, ",") {
+						name = strings.TrimSpace(name)
+						if name == "" {
+							report(pkg.Fset, c.Pos(),
+								"suppression without an analyzer name: write //collvet:ignore <analyzer> -- <why>")
+							malformed = true
+							break
+						}
+						if ByName(name) == nil {
+							report(pkg.Fset, c.Pos(),
+								"suppression names unknown analyzer %q (known: %s)", name, analyzerNames())
+							malformed = true
+							break
+						}
+						if set == nil {
+							set = map[string]bool{}
+						}
+						set[name] = true
+					}
+					if malformed || set == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzers: set})
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+// applySuppressions drops every diagnostic covered by a well-formed
+// suppression (same file, on the comment's line or the line directly
+// below) and appends the malformed-suppression diagnostics. It returns
+// the surviving diagnostics and the number suppressed.
+func applySuppressions(pkgs []*Package, diags []Diagnostic) (kept []Diagnostic, suppressed int) {
+	sups, bad := collectSuppressions(pkgs)
+	byFile := map[string][]suppression{}
+	for _, s := range sups {
+		byFile[s.file] = append(byFile[s.file], s)
+	}
+	kept = diags[:0]
+	for _, d := range diags {
+		drop := false
+		for _, s := range byFile[d.Pos.Filename] {
+			if s.analyzers[d.Analyzer] && (d.Pos.Line == s.line || d.Pos.Line == s.line+1) {
+				drop = true
+				break
+			}
+		}
+		if drop {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, bad...), suppressed
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

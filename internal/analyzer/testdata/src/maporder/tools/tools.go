@@ -1,0 +1,14 @@
+// Outside the deterministic zone (no internal/<sim...> in the import
+// path) maporder stays silent: CLI reporting tools may iterate maps and
+// print or emit in whatever order they like.
+package tools
+
+import (
+	"probe"
+)
+
+func reportAll(pr *probe.Probe, sizes map[int]int64) {
+	for rank := range sizes {
+		pr.Emit(probe.Event{Rank: rank})
+	}
+}

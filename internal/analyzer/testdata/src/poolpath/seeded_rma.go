@@ -1,0 +1,32 @@
+// Seeded-bug fixture: the PR-1-era dropped-request class. PR 1's
+// requestleak (a syntactic acquire/sink matcher) found two real bugs
+// in internal/mpi/rma.go — WinPost and WinComplete sent PSCW control
+// messages and dropped the *mpi.Request, leaking protocol state until
+// the requests were tracked and drained at epoch close. The four
+// CFG-based analyzers found no true positives in today's tree, so this
+// fixture pins that poolpath's flow-sensitive must-release dataflow
+// would have caught the same class (and its fix shape stays clean).
+package poolpath
+
+import (
+	"mpi"
+)
+
+// The bug: a control-message request acquired and read, never waited.
+func badControlSendDropped(r *mpi.Rank, origin int) int64 {
+	q := r.Isend(origin, 99, mpi.Symbolic(1)) // want `pooled handle "q" acquired here may reach return without Wait`
+	return q.Received()
+}
+
+// The fix shape rma.go adopted: requests accumulate on a pending list
+// (ownership escapes the acquire site) and are drained at epoch close.
+func goodControlSendsDrainedAtEpochClose(r *mpi.Rank, group []int) {
+	var pending []*mpi.Request
+	for _, peer := range group {
+		q := r.Isend(peer, 99, mpi.Symbolic(1))
+		pending = append(pending, q)
+	}
+	for _, q := range pending {
+		r.Wait(q)
+	}
+}

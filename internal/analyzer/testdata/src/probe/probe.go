@@ -1,0 +1,28 @@
+// Package probe is a minimal stub of collio/internal/probe for
+// analyzer fixtures: matching is by package NAME + method name.
+package probe
+
+import "sim"
+
+// Kind tags an event class.
+type Kind int
+
+// Event mirrors one instrumentation record.
+type Event struct {
+	Kind Kind
+	Rank int
+	At   sim.Time
+	Dur  sim.Time
+}
+
+// Probe mirrors the per-run event sink (an ordered stream).
+type Probe struct{}
+
+func (p *Probe) Emit(ev Event) {}
+func (p *Probe) Enabled() bool { return true }
+
+// Registry mirrors the commutative counter sink.
+type Registry struct{}
+
+func (g *Registry) Add(name string, v int64)               {}
+func (g *Registry) AddRank(rank int, name string, v int64) {}

@@ -30,6 +30,8 @@ func (p *Proc) Yield()                      {}
 type Kernel struct{}
 
 func (k *Kernel) Rand() *rand.Rand                          { return nil }
+func (k *Kernel) Now() Time                                 { return 0 }
+func (k *Kernel) ScheduleRemote(dst int, t Time, fn func()) { _ = fn }
 func (k *Kernel) After(d Time, fn func())                   { _ = fn }
 func (k *Kernel) At(t Time, fn func())                      { _ = fn }
 func (k *Kernel) NewFuture() *Future                        { return &Future{} }
@@ -46,3 +48,9 @@ type Partition struct{ kernels []*Kernel }
 func (p *Partition) Kernel(lp int) *Kernel { return p.kernels[lp] }
 func (p *Partition) Run(workers int) Time  { return 0 }
 func (p *Partition) Stop()                 {}
+
+// NewPartition mirrors the conservative executor's constructor; the
+// third argument is the lookahead window width.
+func NewPartition(rootSeed int64, nlps int, lookahead Time) *Partition {
+	return &Partition{kernels: make([]*Kernel, nlps)}
+}

@@ -1,0 +1,64 @@
+// Fixtures for the simtime analyzer: unit confusion between virtual
+// time (sim.Time), host time (time.Duration) and raw byte counts,
+// inside a deterministic-zone package (import path contains
+// internal/fcoll).
+package fcoll
+
+import (
+	"time"
+
+	"sim"
+	"simnet"
+)
+
+// --- flagged: virtual and host clocks do not mix ---
+
+func badDurationToSimTime(k *sim.Kernel) {
+	warmup := 5 * time.Millisecond
+	k.After(sim.Time(warmup), func() {}) // want `time\.Duration converted to sim\.Time`
+}
+
+func badSimTimeToDuration(end sim.Time) time.Duration {
+	return time.Duration(end) // want `sim\.Time converted to time\.Duration`
+}
+
+// --- flagged: bytes are not nanoseconds ---
+
+func badBytesAsTime(k *sim.Kernel, buf []byte) {
+	k.After(sim.Time(len(buf)), func() {}) // want `raw byte count converted to sim\.Time without a cost scale`
+}
+
+func badBytesAsTimeSplit(buf []byte, hdr int) sim.Time {
+	n := len(buf)
+	n += hdr
+	return sim.Time(n) // want `raw byte count converted to sim\.Time without a cost scale`
+}
+
+func badTransferSizeAsTime(tr *simnet.Transfer) sim.Time {
+	return sim.Time(tr.Size) // want `raw byte count converted to sim\.Time without a cost scale`
+}
+
+// --- clean: a rate is applied ---
+
+func goodPerByteCost(buf []byte, costPerByte sim.Time) sim.Time {
+	return sim.Time(len(buf)) * costPerByte
+}
+
+func goodBandwidthDivide(tr *simnet.Transfer, bytesPerNs int64) sim.Time {
+	return sim.Time(tr.Size / bytesPerNs)
+}
+
+func goodScaledBeforeConversion(buf []byte, costPerByte int) sim.Time {
+	n := len(buf) * costPerByte
+	return sim.Time(n)
+}
+
+// --- clean: counts without byte provenance convert freely ---
+
+func goodPlainCount(k *sim.Kernel, cycles int) {
+	k.After(sim.Time(cycles)*sim.Time(10), func() {})
+}
+
+func goodConstant() sim.Time {
+	return sim.Time(0)
+}

@@ -1,0 +1,39 @@
+// Fixtures for malformed and mismatched //collvet:ignore comments.
+// Expectations are asserted programmatically (suppress_test.go), not
+// with want comments: a malformed suppression's diagnostic is reported
+// on the comment's own line, which the comment already occupies.
+package malformed
+
+import (
+	"simnet"
+)
+
+// No reason: the waiver is itself a finding, and suppresses nothing —
+// the use-after-release fires too.
+func bareSuppression(net *simnet.Network) int64 {
+	tr := net.Send(0, 1, 64)
+	net.Release(tr)
+	return tr.Size //collvet:ignore poolpath
+}
+
+// Unknown analyzer name: reported, and the leak below still fires.
+func unknownAnalyzer(net *simnet.Network) {
+	//collvet:ignore nosuchanalyzer -- the name is wrong on purpose
+	tr := net.Send(0, 1, 64)
+	_ = tr.Size
+}
+
+// Missing analyzer name: reported, and the leak below still fires.
+func missingName(net *simnet.Network) {
+	//collvet:ignore -- which analyzer?
+	tr := net.Send(0, 1, 64)
+	_ = tr.Size
+}
+
+// Well-formed but naming a different analyzer: not a finding itself,
+// and the poolpath leak below is NOT covered.
+func mismatched(net *simnet.Network) {
+	//collvet:ignore requestleak -- fixture: names the wrong analyzer on purpose
+	tr := net.Send(0, 1, 64)
+	_ = tr.Size
+}

@@ -1,0 +1,10 @@
+// Package trace is a minimal stub of collio/internal/trace for
+// analyzer fixtures: matching is by package NAME + method name.
+package trace
+
+import "sim"
+
+// Recorder mirrors the digest-pinned span stream.
+type Recorder struct{}
+
+func (tr *Recorder) Record(rank int, phase string, cycle int, start, end sim.Time) {}
