@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet collvet test race race-parallel bench bench-diff
+.PHONY: check build vet collvet test race race-parallel bench bench-diff metrics-smoke
 
 check: build vet collvet race-parallel race
 
@@ -50,8 +50,8 @@ race-parallel:
 # equivalence tests — under the race detector. Perf numbers come from
 # bench, concurrency-correctness evidence from race.
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR5.json
-BENCHBASE ?= BENCH_PR4.json
+BENCHOUT ?= BENCH_PR7.json
+BENCHBASE ?= BENCH_PR5.json
 BENCHDIFF = $(if $(wildcard $(BENCHBASE)),-diff $(BENCHBASE),)
 
 bench:
@@ -78,3 +78,18 @@ BENCHALLOCGATE ?= RunSeries|TableISweep|ScaleSweep|ParallelRun
 
 bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff $(BENCHBASE) -fail-above $(BENCHFAIL) -fail-allocs-above $(BENCHALLOCFAIL) -gate '$(BENCHGATE)' -allocs-gate '$(BENCHALLOCGATE)' > /dev/null
+
+# `make metrics-smoke` exercises the telemetry surface end to end: one
+# small iorbench run with -metrics and -metrics-out, then the .prom
+# snapshot is parsed back through cmd/metricsdiff (a self-diff with
+# -fail-changed must exit zero, proving the exporter emits what the
+# parser reads), and the csv/html artefacts are checked non-empty.
+METRICS_SMOKE_DIR = $(or $(TMPDIR),/tmp)/collio-metrics-smoke
+
+metrics-smoke:
+	mkdir -p $(METRICS_SMOKE_DIR)
+	$(GO) run ./cmd/iorbench -np 8 -runs 1 -metrics -metrics-out $(METRICS_SMOKE_DIR)/run > $(METRICS_SMOKE_DIR)/summary.txt
+	$(GO) run ./cmd/metricsdiff -changed -fail-changed $(METRICS_SMOKE_DIR)/run.prom $(METRICS_SMOKE_DIR)/run.prom
+	test -s $(METRICS_SMOKE_DIR)/run.csv
+	test -s $(METRICS_SMOKE_DIR)/run.html
+	grep -q 'fs.chunk_latency_ns' $(METRICS_SMOKE_DIR)/summary.txt

@@ -18,8 +18,9 @@
 // runs each of its simulations on the conservative parallel executor
 // with N window workers (deterministic ibex model — simulated times are
 // identical at every N, host wall-clock scales with cores). The
-// observability flags -probe, -trace-json and -report attach event
-// probes to a single instrumented run (implies the probe experiment).
+// observability flags -probe, -trace-json, -report, -metrics and
+// -metrics-out attach instrumentation to a single run (implying the
+// probe experiment); -progress prints a live heartbeat for any sweep.
 package main
 
 import (
@@ -33,6 +34,8 @@ import (
 	"collio/internal/cli"
 	"collio/internal/exp"
 	"collio/internal/fcoll"
+	"collio/internal/metrics"
+	mexport "collio/internal/metrics/export"
 	"collio/internal/platform"
 	"collio/internal/probe"
 	"collio/internal/probe/export"
@@ -53,6 +56,9 @@ func main() {
 		probeF    = flag.Bool("probe", false, "print the probe counter registry of the instrumented run")
 		traceJSON = flag.String("trace-json", "", "write a Chrome/Perfetto trace of the instrumented run to `file`")
 		report    = flag.Bool("report", false, "print a Darshan-style I/O report of the instrumented run")
+		metricsF  = flag.Bool("metrics", false, "attach time-series telemetry to the instrumented run and print a per-series summary")
+		metricsO  = flag.String("metrics-out", "", "write the instrumented run's telemetry to `base`.prom, base.csv and base.html")
+		progressF = flag.Bool("progress", false, "print a live runs-completed/ETA heartbeat to stderr")
 	)
 	var prof cli.Profiler
 	prof.RegisterFlags()
@@ -61,7 +67,17 @@ func main() {
 		fatalf("profiling: %v", err)
 	}
 
-	obs := *probeF || *traceJSON != "" || *report
+	if *progressF {
+		pr := metrics.NewProgress("runs", os.Stderr)
+		exp.SetProgress(pr)
+		pr.Start()
+		defer func() {
+			pr.Stop()
+			exp.SetProgress(nil)
+		}()
+	}
+
+	obs := *probeF || *traceJSON != "" || *report || *metricsF || *metricsO != ""
 	if obs {
 		// Asking for observability output without naming an experiment
 		// means "just the instrumented run", not the whole suite.
@@ -258,7 +274,7 @@ func main() {
 
 	if want("probe") || obs {
 		ran = true
-		if err := probeRun(fig1NP[0], *probeF, *traceJSON, *report); err != nil {
+		if err := probeRun(fig1NP[0], *probeF, *traceJSON, *report, *metricsF, *metricsO); err != nil {
 			fatalf("probe run: %v", err)
 		}
 	}
@@ -275,8 +291,12 @@ func main() {
 // (crill, write-comm-2-overlap, two-sided) and emits the requested
 // observability artefacts. With no output flag it prints the counter
 // registry so `-exp probe` alone is not silent.
-func probeRun(np int, counters bool, traceJSON string, report bool) error {
+func probeRun(np int, counters bool, traceJSON string, report bool, metricsF bool, metricsOut string) error {
 	p := probe.New()
+	var met *metrics.Metrics
+	if metricsF || metricsOut != "" {
+		met = metrics.New(0)
+	}
 	spec := exp.Spec{
 		Platform:  platform.Crill(),
 		NProcs:    np,
@@ -285,6 +305,7 @@ func probeRun(np int, counters bool, traceJSON string, report bool) error {
 		Primitive: fcoll.TwoSided,
 		Seed:      1,
 		Probe:     p,
+		Metrics:   met,
 	}
 	if _, err := exp.Execute(spec); err != nil {
 		return err
@@ -309,7 +330,20 @@ func probeRun(np int, counters bool, traceJSON string, report bool) error {
 			return err
 		}
 	}
-	if counters || (traceJSON == "" && !report) {
+	if metricsF {
+		fmt.Printf("metrics summary (tileio-1m, np=%d):\n", np)
+		if err := mexport.WriteSummary(os.Stdout, met); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		title := fmt.Sprintf("tileio-1m write-comm-2-overlap/two-sided np=%d", np)
+		if err := cli.WriteMetricsFiles(metricsOut, met, p, title); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics snapshot to %s.{prom,csv,html}\n", metricsOut)
+	}
+	if counters || (traceJSON == "" && !report && !metricsF && metricsOut == "") {
 		fmt.Printf("probe counters (tileio-1m, np=%d):\n%s", np, p.Counters())
 	}
 	return nil

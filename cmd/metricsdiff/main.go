@@ -1,0 +1,76 @@
+// Command metricsdiff A/B-compares two metrics snapshots written by
+// -metrics-out (Prometheus text format, the .prom file):
+//
+//	metricsdiff old.prom new.prom
+//
+// It prints one row per sample — per-OST busy time and peak depth,
+// per-link utilisation, phase occupancy, histogram counts and sums —
+// with old value, new value, absolute delta and relative change, sorted
+// by sample key so the output is deterministic and diffable. Samples
+// present in only one snapshot are marked added/removed.
+//
+// With -changed, rows whose value is identical in both snapshots are
+// suppressed. With -fail-changed, any surviving row makes the command
+// exit non-zero — a regression gate for "these two runs must have
+// identical telemetry".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collio/internal/metrics/export"
+)
+
+func main() {
+	changed := flag.Bool("changed", false, "print only samples whose value differs")
+	failChanged := flag.Bool("fail-changed", false, "exit non-zero when any sample differs")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: metricsdiff [flags] old.prom new.prom\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := loadSnapshot(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	new, err := loadSnapshot(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	rows := export.Diff(old, new)
+	if err := export.WriteDiff(os.Stdout, rows, *changed); err != nil {
+		fatal(err)
+	}
+	if *failChanged {
+		for _, r := range rows {
+			if !r.InOld || !r.InNew || r.Old != r.New {
+				fmt.Fprintf(os.Stderr, "metricsdiff: snapshots differ\n")
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func loadSnapshot(path string) (export.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap, err := export.ParseProm(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "metricsdiff: %v\n", err)
+	os.Exit(1)
+}

@@ -171,7 +171,8 @@ func TestRequestLeakFixtures(t *testing.T) {
 
 func TestWallClockFixtures(t *testing.T) {
 	runFixtureTest(t, WallClock, "wallclock/internal/sim", "wallclock/tools",
-		"wallclock/internal/probe", "wallclock/internal/probe/export")
+		"wallclock/internal/probe", "wallclock/internal/probe/export",
+		"wallclock/internal/metrics", "wallclock/internal/metrics/export")
 }
 
 func TestFencePairFixtures(t *testing.T) {

@@ -3,6 +3,7 @@ package analyzer
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -41,6 +42,7 @@ var DeterministicZones = []string{
 	"internal/mpiio",
 	"internal/fcoll",
 	"internal/probe",
+	"internal/metrics",
 }
 
 // WallClockExempt lists sub-packages carved back out of the zone: the
@@ -50,6 +52,34 @@ var DeterministicZones = []string{
 // the zone. An exemption wins over a zone match.
 var WallClockExempt = []string{
 	"internal/probe/export",
+	"internal/metrics/export",
+}
+
+// WallClockExemptFiles carves single files out of an otherwise
+// deterministic package, keyed by zone fragment. The metrics samplers
+// fold state at virtual-time instants and stay in the zone, but the
+// live -progress heartbeat (progress.go) is the package's one
+// sanctioned wall-clock consumer: it renders an elapsed/ETA line to
+// stderr and never feeds anything back into simulated state.
+var WallClockExemptFiles = map[string][]string{
+	"internal/metrics": {"progress.go"},
+}
+
+// wallClockFileExempt reports whether this file of an in-zone package
+// is individually exempt.
+func wallClockFileExempt(pass *Pass, file *ast.File) bool {
+	base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+	for frag, names := range WallClockExemptFiles {
+		if !pathHasSegments(pass.Pkg.Path(), frag) {
+			continue
+		}
+		for _, n := range names {
+			if n == base {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // inDeterministicZone reports whether import path p lies in the zone.
@@ -111,6 +141,9 @@ func runWallClock(pass *Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
+		if wallClockFileExempt(pass, file) {
+			continue
+		}
 		parents := buildParents(file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {

@@ -13,6 +13,8 @@ import (
 
 	"collio/internal/exp"
 	"collio/internal/fcoll"
+	"collio/internal/metrics"
+	mexport "collio/internal/metrics/export"
 	"collio/internal/platform"
 	"collio/internal/probe"
 	"collio/internal/probe/export"
@@ -23,22 +25,25 @@ import (
 
 // Common holds the flags shared by all benchmark tools.
 type Common struct {
-	Platform  string
-	NProcs    int
-	Algorithm string
-	Primitive string
-	Runs      int
-	Jobs      int
-	JRun      int
-	Seed      int64
-	BufferMB  int
-	AllAlgos  bool
-	Read      bool
-	Trace     bool
-	Probe     bool
-	TraceJSON string
-	Report    bool
-	Prof      Profiler
+	Platform   string
+	NProcs     int
+	Algorithm  string
+	Primitive  string
+	Runs       int
+	Jobs       int
+	JRun       int
+	Seed       int64
+	BufferMB   int
+	AllAlgos   bool
+	Read       bool
+	Trace      bool
+	Probe      bool
+	TraceJSON  string
+	Report     bool
+	Metrics    bool
+	MetricsOut string
+	Progress   bool
+	Prof       Profiler
 }
 
 // RegisterFlags installs the common flags on the default FlagSet.
@@ -59,6 +64,9 @@ func (c *Common) RegisterFlags() {
 	flag.BoolVar(&c.Probe, "probe", false, "attach event probes to one run and print the counter registry")
 	flag.StringVar(&c.TraceJSON, "trace-json", "", "write a Chrome/Perfetto trace of one run to `file`")
 	flag.BoolVar(&c.Report, "report", false, "print a Darshan-style I/O report (with stall attribution) of one run")
+	flag.BoolVar(&c.Metrics, "metrics", false, "attach time-series telemetry to one run and print a per-series summary")
+	flag.StringVar(&c.MetricsOut, "metrics-out", "", "write one run's telemetry to `base`.prom (Prometheus text), base.csv (timeseries) and base.html (dashboard)")
+	flag.BoolVar(&c.Progress, "progress", false, "print a live runs-completed/ETA heartbeat to stderr during the series")
 	c.Prof.RegisterFlags()
 }
 
@@ -142,6 +150,16 @@ func (c *Common) RunBenchmark(gen workload.Generator) (err error) {
 		float64(total)/(1<<20), float64(total)/float64(c.NProcs)/(1<<20))
 	fmt.Printf("collective: buffer %d MiB, primitive %s, %d-run series\n\n", c.BufferMB, prim, c.Runs)
 
+	if c.Progress {
+		pr := metrics.NewProgress("runs", os.Stderr)
+		exp.SetProgress(pr)
+		pr.Start()
+		defer func() {
+			pr.Stop()
+			exp.SetProgress(nil)
+		}()
+	}
+
 	head := []string{"Algorithm", "Min", "Mean", "StdDev", "Bandwidth"}
 	var rows [][]string
 	for _, algo := range algos {
@@ -168,13 +186,19 @@ func (c *Common) RunBenchmark(gen workload.Generator) (err error) {
 	}
 	fmt.Println(stats.RenderTable("", head, rows))
 
-	if c.Trace || c.Probe || c.TraceJSON != "" || c.Report {
+	if c.Trace || c.Probe || c.TraceJSON != "" || c.Report || c.Metrics || c.MetricsOut != "" {
 		// One instrumented run with the last algorithm in the table.
 		algo := algos[len(algos)-1]
 		tr := trace.New()
 		var p *probe.Probe
-		if c.Probe || c.TraceJSON != "" || c.Report {
+		// -metrics-out also attaches a probe: the dashboard's per-OST
+		// stall column comes from the probe's stall attribution.
+		if c.Probe || c.TraceJSON != "" || c.Report || c.MetricsOut != "" {
 			p = probe.New()
+		}
+		var met *metrics.Metrics
+		if c.Metrics || c.MetricsOut != "" {
+			met = metrics.New(0)
 		}
 		spec := exp.Spec{
 			Platform:   pf,
@@ -188,6 +212,7 @@ func (c *Common) RunBenchmark(gen workload.Generator) (err error) {
 			JRun:       c.JRun,
 			Trace:      tr,
 			Probe:      p,
+			Metrics:    met,
 		}
 		if _, err := exp.Execute(spec); err != nil {
 			return err
@@ -218,8 +243,53 @@ func (c *Common) RunBenchmark(gen workload.Generator) (err error) {
 		if c.Probe {
 			fmt.Printf("probe counters (%v, seed %d):\n%s", algo, c.Seed, p.Counters())
 		}
+		if c.Metrics {
+			fmt.Printf("metrics summary (%v, seed %d):\n", algo, c.Seed)
+			if err := mexport.WriteSummary(os.Stdout, met); err != nil {
+				return err
+			}
+		}
+		if c.MetricsOut != "" {
+			title := fmt.Sprintf("%s %s/%s np=%d seed=%d", gen.Name(), algo, prim, c.NProcs, c.Seed)
+			if err := WriteMetricsFiles(c.MetricsOut, met, p, title); err != nil {
+				return err
+			}
+			fmt.Printf("wrote metrics snapshot to %s.{prom,csv,html}\n", c.MetricsOut)
+		}
 	}
 	return nil
+}
+
+// WriteMetricsFiles renders one run's telemetry into the three
+// -metrics-out artefacts: base.prom, base.csv and the self-contained
+// base.html dashboard (whose per-OST stall column reuses the probe's
+// stall attribution, keeping it consistent with -report).
+func WriteMetricsFiles(base string, met *metrics.Metrics, p *probe.Probe, title string) error {
+	write := func(ext string, render func(f *os.File) error) error {
+		f, err := os.Create(base + ext)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(".prom", func(f *os.File) error { return mexport.WriteProm(f, met) }); err != nil {
+		return err
+	}
+	if err := write(".csv", func(f *os.File) error { return mexport.WriteCSV(f, met) }); err != nil {
+		return err
+	}
+	opts := mexport.DashOptions{Title: title}
+	if p != nil {
+		opts.OSTStall = make(map[int]int64)
+		for tgt, d := range export.AttributeOST(p) {
+			opts.OSTStall[tgt] = int64(d)
+		}
+	}
+	return write(".html", func(f *os.File) error { return mexport.WriteDashboard(f, met, opts) })
 }
 
 // Fatal prints err and exits non-zero.

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"collio/internal/metrics"
 )
 
 // The parallel experiment pool. Every simulation in a sweep is an
@@ -36,12 +38,25 @@ func normalizeParallel(j int) int {
 	return j
 }
 
+// liveProgress is the optional process-wide heartbeat sink. forEach and
+// the sweep drivers tick it so a long sweep can report runs-completed
+// and an ETA without threading a handle through every call chain. The
+// pointer holds nil when no heartbeat is attached; every metrics.Progress
+// method is nil-safe, so the off path costs one atomic load.
+var liveProgress atomic.Pointer[metrics.Progress]
+
+// SetProgress attaches (or, with nil, detaches) the live sweep-progress
+// heartbeat that forEach and the sweep drivers tick.
+func SetProgress(p *metrics.Progress) { liveProgress.Store(p) }
+
 // forEach runs job(0..n-1) across at most parallel workers and blocks
 // until all jobs have returned. Workers claim indices from a shared
 // atomic counter, so scheduling adapts to uneven job lengths; with
 // parallel <= 1 the jobs run inline in index order. job must confine
 // its writes to state owned by its index.
 func forEach(parallel, n int, job func(i int)) {
+	pr := liveProgress.Load()
+	pr.AddTotal(n)
 	parallel = normalizeParallel(parallel)
 	if parallel > n {
 		parallel = n
@@ -49,6 +64,7 @@ func forEach(parallel, n int, job func(i int)) {
 	if parallel <= 1 {
 		for i := 0; i < n; i++ {
 			job(i)
+			pr.Done(1)
 		}
 		return
 	}
@@ -64,6 +80,7 @@ func forEach(parallel, n int, job func(i int)) {
 					return
 				}
 				job(i)
+				pr.Done(1)
 			}
 		}()
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"collio/internal/fcoll"
+	"collio/internal/metrics"
 	"collio/internal/mpi"
 	"collio/internal/mpiio"
 	"collio/internal/platform"
@@ -45,6 +46,15 @@ type Spec struct {
 	// perturbing: trace digests are identical with and without one
 	// (enforced by TestProbeDigestInvariance).
 	Probe *probe.Probe
+	// Metrics, when non-nil, accumulates time-series telemetry (resource
+	// utilisation timelines and latency histograms) from the network,
+	// file-system, kernel and collective layers. Same non-perturbation
+	// contract as Probe: digests are identical with and without one
+	// (enforced by TestMetricsDigestInvariance). Under JRun the sink is
+	// sharded per LP and folded back with metrics.MergeShards; the
+	// execution-level kernel.depth series is recorded on sequential runs
+	// only.
+	Metrics *metrics.Metrics
 	// JRun >= 1 runs the simulation on the conservative parallel
 	// executor with that many workers (one LP per simulated node), when
 	// the spec is Partitionable. Results are bit-identical to the
@@ -128,6 +138,7 @@ func Execute(spec Spec) (Metrics, error) {
 	// spec.Probe in exactly the sequential emission order.
 	var traceShards []*trace.Recorder
 	var probeShards []*probe.Probe
+	var metShards []*metrics.Metrics
 	if parallel {
 		nlp := cl.Part.NKernels()
 		if spec.Trace != nil {
@@ -149,10 +160,35 @@ func Execute(spec Spec) (Metrics, error) {
 			cl.World.SetProbeShards(probeShards)
 			cl.FS.SetProbeShards(probeShards)
 		}
-	} else if spec.Probe != nil {
-		cl.Net.SetProbe(spec.Probe)
-		cl.World.SetProbe(spec.Probe)
-		cl.FS.SetProbe(spec.Probe)
+		if spec.Metrics != nil {
+			// Metrics shards need no event key: every series folds by a
+			// commutative int64 combiner (sum / max / histogram add), so
+			// the merge is order-independent by construction.
+			metShards = make([]*metrics.Metrics, nlp)
+			for i := range metShards {
+				metShards[i] = metrics.New(spec.Metrics.Resolution())
+			}
+			cl.Net.SetMetricsShards(metShards)
+			cl.FS.SetMetricsShards(metShards)
+		}
+	} else {
+		if spec.Probe != nil {
+			cl.Net.SetProbe(spec.Probe)
+			cl.World.SetProbe(spec.Probe)
+			cl.FS.SetProbe(spec.Probe)
+		}
+		if spec.Metrics != nil {
+			cl.Net.SetMetrics(spec.Metrics)
+			cl.FS.SetMetrics(spec.Metrics)
+			// Event-kernel occupancy is a property of the sequential
+			// execution (one global event queue); partitioned runs have
+			// per-LP queues, so the series exists on sequential runs only
+			// and is excluded from seq-vs-parallel dump comparison.
+			kg := spec.Metrics.Gauge(metrics.KernelDepth, metrics.ModeMax)
+			cl.Kernel.ObserveDepth = func(at sim.Time, depth int) {
+				kg.Observe(at, int64(depth))
+			}
+		}
 	}
 	opts := fcoll.Options{
 		Algorithm:  spec.Algorithm,
@@ -162,9 +198,11 @@ func Execute(spec Spec) (Metrics, error) {
 	if parallel {
 		opts.TraceShards = traceShards
 		opts.ProbeShards = probeShards
+		opts.MetricsShards = metShards
 	} else {
 		opts.Trace = spec.Trace
 		opts.Probe = spec.Probe
+		opts.Metrics = spec.Metrics
 	}
 	file := mpiio.Open(cl.World, cl.FS.Open(spec.Gen.Name()))
 	file.SetCollectiveOptions(opts)
@@ -201,6 +239,7 @@ func Execute(spec Spec) (Metrics, error) {
 		cl.Part.Run(spec.JRun)
 		trace.MergeShards(spec.Trace, traceShards)
 		probe.MergeShards(spec.Probe, probeShards)
+		metrics.MergeShards(spec.Metrics, metShards)
 	} else {
 		cl.Kernel.Run()
 	}
@@ -244,7 +283,7 @@ func RunSeries(spec Spec, runs int, seedBase int64) (stats.Series, error) {
 // sinks (Trace or Probe) is forced sequential — those sinks are
 // single-owner.
 func RunSeriesP(spec Spec, runs int, seedBase int64, parallel int) (stats.Series, error) {
-	if spec.Trace != nil || spec.Probe != nil {
+	if spec.Trace != nil || spec.Probe != nil || spec.Metrics != nil {
 		parallel = 1
 	}
 	times := make([]sim.Time, runs)

@@ -104,6 +104,8 @@ func RunScaleSweep(cfg ScaleConfig) ([]ScalePoint, error) {
 	}
 	pf := platform.Ibex()
 	pw := newProgressWriter(cfg.Progress)
+	pr := liveProgress.Load()
+	pr.AddTotal(len(cfg.RankCounts) * len(cfg.Algorithms))
 	var out []ScalePoint
 	for _, np := range cfg.RankCounts {
 		if np > pf.MaxProcs() {
@@ -128,6 +130,7 @@ func RunScaleSweep(cfg ScaleConfig) ([]ScalePoint, error) {
 				Wall:      time.Since(start),
 			}
 			out = append(out, p)
+			pr.Done(1)
 			pw.Printf("scale: np=%-5d %-22s sim=%-12v wall=%v\n",
 				p.NProcs, p.Algorithm, p.Elapsed, p.Wall.Round(time.Millisecond))
 		}

@@ -3,6 +3,7 @@ package fcoll
 import (
 	"fmt"
 
+	"collio/internal/metrics"
 	"collio/internal/mpi"
 	"collio/internal/probe"
 	"collio/internal/sim"
@@ -53,6 +54,9 @@ func Run(r *mpi.Rank, jv *JobView, file Writer, opts Options) (Result, error) {
 	}
 	if opts.ProbeShards != nil {
 		ex.opts.Probe = opts.ProbeShards[r.Node()]
+	}
+	if opts.MetricsShards != nil {
+		ex.opts.Metrics = opts.MetricsShards[r.Node()]
 	}
 	ex.setup()
 	switch opts.Algorithm {
@@ -113,12 +117,26 @@ func (ex *exec) probePhase(cause probe.Cause, cycle int, start, end sim.Time) {
 	})
 }
 
+// metricPhase folds one phase interval into the metrics sink: the
+// per-rank phase-occupancy gauge (rank-nanoseconds each phase consumed
+// per time bucket, summed across ranks) and the phase-duration
+// histogram. Zero-length intervals are dropped, matching probePhase.
+func (ex *exec) metricPhase(name string, start, end sim.Time) {
+	m := ex.opts.Metrics
+	if m == nil || end <= start {
+		return
+	}
+	m.Gauge(metrics.PhaseRank(name), metrics.ModeSum).AddSpan(start, end)
+	m.Hist(metrics.PhaseHist(name)).Record(int64(end - start))
+}
+
 // syncSpan records the interval since t0 as explicit synchronisation
 // (barrier/fence site) in both the trace recorder and the probe.
 func (ex *exec) syncSpan(cycle int, t0 sim.Time) {
 	now := ex.r.Now()
 	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseSync, cycle, t0, now)
 	ex.probePhase(probe.CauseSync, cycle, t0, now)
+	ex.metricPhase("sync", t0, now)
 }
 
 // setup charges the plan-establishment collectives (offset reduction and
@@ -339,6 +357,7 @@ func (ex *exec) shuffleWait(sh *shuffle) {
 	ex.res.ShuffleTime += ex.r.Now() - t0
 	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseShuffle, sh.cycle, sh.initAt, ex.r.Now())
 	ex.probePhase(probe.CauseShuffle, sh.cycle, sh.initAt, ex.r.Now())
+	ex.metricPhase("shuffle", sh.initAt, ex.r.Now())
 }
 
 // shuffleBlocking is the blocking shuffle used by the write-overlap
@@ -501,11 +520,20 @@ func (ex *exec) writeSync(c, slot int) {
 	if ex.dataMode {
 		data = ex.bufs[slot][:ext.Len]
 	}
+	if m := ex.opts.Metrics; m != nil {
+		// Collective-buffer occupancy: the window's bytes sit in the
+		// sub-buffer from write submission until the data is persisted.
+		m.Gauge(metrics.BufBytes, metrics.ModeDelta).Add(t0, ext.Len)
+	}
 	ex.file.WriteSync(ex.r, ext.Off, ext.Len, data)
 	ex.res.WriteTime += ex.r.Now() - t0
 	ex.res.BytesWritten += ext.Len
+	if m := ex.opts.Metrics; m != nil {
+		m.Gauge(metrics.BufBytes, metrics.ModeDelta).Add(ex.r.Now(), -ext.Len)
+	}
 	ex.opts.Trace.Record(ex.r.ID(), trace.PhaseWrite, c, t0, ex.r.Now())
 	ex.probePhase(probe.CauseWrite, c, t0, ex.r.Now())
+	ex.metricPhase("write", t0, ex.r.Now())
 }
 
 // writeInit starts an asynchronous flush of cycle c's window from slot
@@ -525,10 +553,13 @@ func (ex *exec) writeInit(c, slot int) *sim.Future {
 	}
 	ex.res.BytesWritten += ext.Len
 	fut := ex.file.WriteAsync(ex.r, ext.Off, ext.Len, data)
-	if ex.opts.Trace != nil || ex.opts.Probe.Enabled() {
+	if ex.opts.Trace != nil || ex.opts.Probe.Enabled() || ex.opts.Metrics.Enabled() {
 		t0 := ex.r.Now()
 		rank, k := ex.r.ID(), ex.r.Kernel()
-		tr, p := ex.opts.Trace, ex.opts.Probe
+		tr, p, met := ex.opts.Trace, ex.opts.Probe, ex.opts.Metrics
+		if met.Enabled() {
+			met.Gauge(metrics.BufBytes, metrics.ModeDelta).Add(t0, ext.Len)
+		}
 		fut.OnDone(func() {
 			now := k.Now()
 			tr.Record(rank, trace.PhaseWrite, c, t0, now)
@@ -538,6 +569,13 @@ func (ex *exec) writeInit(c, slot int) *sim.Future {
 					Kind: probe.KindPhase, Cause: probe.CauseWrite,
 					Rank: rank, Peer: -1, Cycle: c,
 				})
+			}
+			if met.Enabled() {
+				met.Gauge(metrics.BufBytes, metrics.ModeDelta).Add(now, -ext.Len)
+				if now > t0 {
+					met.Gauge(metrics.PhaseRank("write"), metrics.ModeSum).AddSpan(t0, now)
+					met.Hist(metrics.PhaseHist("write")).Record(int64(now - t0))
+				}
 			}
 		})
 	}

@@ -17,6 +17,7 @@ package fcoll
 import (
 	"fmt"
 
+	"collio/internal/metrics"
 	"collio/internal/mpi"
 	"collio/internal/probe"
 	"collio/internal/sim"
@@ -193,6 +194,15 @@ type Options struct {
 	// the run. Shards take precedence over the shared sinks above.
 	TraceShards []*trace.Recorder
 	ProbeShards []*probe.Probe
+	// Metrics, when non-nil, accumulates time-series telemetry: per-phase
+	// rank occupancy gauges, phase-duration histograms, and aggregator
+	// collective-buffer occupancy. Same contract as Probe: host-side
+	// appends only, digest-invariant, nil means zero overhead.
+	Metrics *metrics.Metrics
+	// MetricsShards carries one metrics sink per node LP for partitioned
+	// execution, merged by metrics.MergeShards after the run. Takes
+	// precedence over Metrics.
+	MetricsShards []*metrics.Metrics
 }
 
 // DefaultOptions returns the paper's configuration: 32 MiB collective

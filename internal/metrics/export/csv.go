@@ -1,0 +1,45 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"collio/internal/metrics"
+)
+
+// WriteCSV renders every gauge as one column of a bucket-aligned
+// timeseries: the first column is the bucket start in virtual
+// nanoseconds, and each further column is that bucket's value. Delta
+// gauges are integrated into their running sum, so the column reads as
+// an occupancy timeline rather than raw +/- deltas. Histograms carry no
+// time axis and are not part of the CSV; use the Prometheus snapshot.
+func WriteCSV(w io.Writer, m *metrics.Metrics) error {
+	gauges := m.Gauges()
+	var b strings.Builder
+	b.WriteString("t_ns")
+	for _, g := range gauges {
+		b.WriteByte(',')
+		b.WriteString(g.Name())
+	}
+	b.WriteByte('\n')
+	res := int64(m.Resolution())
+	run := make([]int64, len(gauges))
+	for row := 0; row < m.NumBuckets(); row++ {
+		fmt.Fprintf(&b, "%d", int64(row)*res)
+		for i, g := range gauges {
+			v := int64(0)
+			if vals := g.Values(); row < len(vals) {
+				v = vals[row]
+			}
+			if g.Mode() == metrics.ModeDelta {
+				run[i] += v
+				v = run[i]
+			}
+			fmt.Fprintf(&b, ",%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

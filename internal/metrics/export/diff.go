@@ -1,0 +1,126 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a parsed Prometheus text-format snapshot: sample key
+// (family plus label block) to value. Histogram _bucket samples are
+// dropped on parse — the diff compares the _sum/_count reductions, not
+// cumulative bucket counts whose boundaries may shift between runs.
+type Snapshot map[string]int64
+
+// ParseProm parses the output of WriteProm (a subset of the Prometheus
+// text format: integer-valued samples, # comments).
+func ParseProm(r io.Reader) (Snapshot, error) {
+	snap := make(Snapshot)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("export: bad sample line %q", line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		family := key
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		if strings.HasSuffix(family, "_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("export: bad value in %q: %v", line, err)
+		}
+		snap[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// DiffRow is one per-resource comparison between two snapshots.
+type DiffRow struct {
+	Key      string
+	Old, New int64
+	// InOld / InNew distinguish a zero value from an absent sample.
+	InOld, InNew bool
+}
+
+// Delta returns New - Old.
+func (r DiffRow) Delta() int64 { return r.New - r.Old }
+
+// Diff compares two snapshots key by key and returns every row sorted
+// by key — a deterministic function of its inputs.
+func Diff(old, new Snapshot) []DiffRow {
+	keys := make(map[string]struct{}, len(old)+len(new))
+	for k := range old {
+		keys[k] = struct{}{}
+	}
+	for k := range new {
+		keys[k] = struct{}{}
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	rows := make([]DiffRow, 0, len(sorted))
+	for _, k := range sorted {
+		o, inOld := old[k]
+		n, inNew := new[k]
+		rows = append(rows, DiffRow{Key: k, Old: o, New: n, InOld: inOld, InNew: inNew})
+	}
+	return rows
+}
+
+// WriteDiff renders the per-resource delta table. With changedOnly,
+// rows whose value is identical in both snapshots are suppressed.
+func WriteDiff(w io.Writer, rows []DiffRow, changedOnly bool) error {
+	wid := len("sample")
+	for _, r := range rows {
+		if changedOnly && r.InOld && r.InNew && r.Old == r.New {
+			continue
+		}
+		if len(r.Key) > wid {
+			wid = len(r.Key)
+		}
+	}
+	fmt.Fprintf(w, "%-*s %14s %14s %14s %9s\n", wid, "sample", "old", "new", "delta", "pct")
+	for _, r := range rows {
+		if changedOnly && r.InOld && r.InNew && r.Old == r.New {
+			continue
+		}
+		switch {
+		case !r.InOld:
+			fmt.Fprintf(w, "%-*s %14s %14d %14s %9s\n", wid, r.Key, "-", r.New, "added", "")
+		case !r.InNew:
+			fmt.Fprintf(w, "%-*s %14d %14s %14s %9s\n", wid, r.Key, r.Old, "-", "removed", "")
+		default:
+			fmt.Fprintf(w, "%-*s %14d %14d %+14d %9s\n", wid, r.Key, r.Old, r.New, r.Delta(), pctString(r.Old, r.New))
+		}
+	}
+	return nil
+}
+
+// pctString formats the relative change from old to new.
+func pctString(old, new int64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0.0%"
+		}
+		return "inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*float64(new-old)/float64(old))
+}

@@ -1,0 +1,160 @@
+package export
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"collio/internal/metrics"
+	"collio/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureSink builds a small deterministic sink exercising every series
+// shape the exporters handle: sum/max/delta gauges with labels to lift,
+// a plain dotted gauge, and two histograms.
+func fixtureSink() *metrics.Metrics {
+	m := metrics.New(100)
+	for ost := 0; ost < 3; ost++ {
+		busy := m.Gauge(metrics.OSTBusy(ost), metrics.ModeSum)
+		depth := m.Gauge(metrics.OSTDepth(ost), metrics.ModeMax)
+		busy.AddSpan(50, 250)
+		busy.AddSpan(sim.Time(300+100*ost), sim.Time(400+100*ost))
+		depth.Observe(60, int64(2+ost))
+		depth.Observe(320, 1)
+	}
+	tx := m.Gauge(metrics.LinkBusy(1, "tx"), metrics.ModeSum)
+	tx.AddSpan(0, 130)
+	buf := m.Gauge(metrics.BufBytes, metrics.ModeDelta)
+	buf.Add(10, 4096)
+	buf.Add(220, 4096)
+	buf.Add(410, -4096)
+	buf.Add(600, -4096)
+	m.Gauge(metrics.PhaseRank("shuffle"), metrics.ModeSum).AddSpan(0, 380)
+	m.Gauge(metrics.KernelDepth, metrics.ModeMax).Observe(33, 17)
+	lat := m.Hist(metrics.ChunkLatency)
+	for _, v := range []int64{3, 40, 40, 41, 900, 17000} {
+		lat.Record(v)
+	}
+	svc := m.Hist(metrics.PhaseHist("write"))
+	svc.Record(250)
+	svc.Record(260)
+	return m
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run go test -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch with golden (run go test -update after verifying):\n--- got\n%s", name, got)
+	}
+}
+
+func TestPromGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteProm(&b, fixtureSink()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fixture.prom", b.Bytes())
+}
+
+func TestCSVGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteCSV(&b, fixtureSink()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fixture.csv", b.Bytes())
+}
+
+func TestHTMLGolden(t *testing.T) {
+	var b bytes.Buffer
+	opts := DashOptions{Title: "fixture run", OSTStall: map[int]int64{0: 120, 1: 0, 2: 75}}
+	if err := WriteDashboard(&b, fixtureSink(), opts); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"<script", "http://", "https://", "src="} {
+		if strings.Contains(out, frag) {
+			t.Fatalf("dashboard is not self-contained: found %q", frag)
+		}
+	}
+	checkGolden(t, "fixture.html", b.Bytes())
+}
+
+func TestSummaryGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteSummary(&b, fixtureSink()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fixture.summary.txt", b.Bytes())
+}
+
+// TestPromRoundTrip pins that ParseProm reads back every non-bucket
+// sample WriteProm emits.
+func TestPromRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteProm(&b, fixtureSink()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseProm(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap[`collio_ost_busy_ns{ost="2"}`]; !ok || v != 300 {
+		t.Fatalf("ost2 busy sample = %d (present %v), want 300", v, ok)
+	}
+	if v := snap[`collio_fcoll_buf_bytes_peak`]; v != 8192 {
+		t.Fatalf("buf peak = %d, want 8192", v)
+	}
+	if v := snap[`collio_fs_chunk_latency_ns_count`]; v != 6 {
+		t.Fatalf("latency count = %d, want 6", v)
+	}
+	for k := range snap {
+		if strings.Contains(k, "_bucket") {
+			t.Fatalf("bucket sample leaked into snapshot: %s", k)
+		}
+	}
+}
+
+// TestDiffGolden pins the A/B table: changed, unchanged, added and
+// removed samples all render deterministically.
+func TestDiffGolden(t *testing.T) {
+	old := Snapshot{
+		`collio_ost_busy_ns{ost="0"}`:    1000,
+		`collio_ost_busy_ns{ost="1"}`:    2000,
+		"collio_fs_ost_service_ns_count": 40,
+		"collio_gone":                    7,
+	}
+	new := Snapshot{
+		`collio_ost_busy_ns{ost="0"}`:    1500,
+		`collio_ost_busy_ns{ost="1"}`:    2000,
+		"collio_fs_ost_service_ns_count": 44,
+		"collio_new":                     3,
+	}
+	var b bytes.Buffer
+	if err := WriteDiff(&b, Diff(old, new), false); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("--- changed only ---\n")
+	if err := WriteDiff(&b, Diff(old, new), true); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fixture.diff.txt", b.Bytes())
+}

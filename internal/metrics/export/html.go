@@ -1,0 +1,278 @@
+package export
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"collio/internal/metrics"
+)
+
+// DashOptions configures the HTML dashboard.
+type DashOptions struct {
+	// Title heads the page ("" renders a generic title). The dashboard
+	// embeds no timestamps, so equal telemetry yields a byte-equal page.
+	Title string
+	// OSTStall, when non-nil, adds a stall column to the per-OST table:
+	// virtual nanoseconds of rank stall time attributed to each storage
+	// target (probe/export.AttributeOST computes it). Declared as a plain
+	// map so this package needs no probe dependency.
+	OSTStall map[int]int64
+}
+
+// maxHeatCols caps the heatmap/sparkline width; longer series are
+// downsampled by summing adjacent buckets.
+const maxHeatCols = 120
+
+// WriteDashboard renders the sink as one self-contained HTML file:
+// an inline-SVG per-OST utilisation heatmap, a sparkline per gauge
+// series, histogram bar charts, and a per-OST summary table. No
+// scripts, no external assets, no network access.
+func WriteDashboard(w io.Writer, m *metrics.Metrics, opts DashOptions) error {
+	title := opts.Title
+	if title == "" {
+		title = "collio metrics"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title><style>
+body{font-family:sans-serif;margin:1.5em;color:#222}
+h1{font-size:1.3em}h2{font-size:1.05em;margin-top:1.4em}
+table{border-collapse:collapse;font-size:.85em}
+td,th{border:1px solid #ccc;padding:.25em .6em;text-align:right}
+th{background:#f0f0f0}td.l,th.l{text-align:left}
+.spark{margin:.2em 0}.lbl{font-size:.8em;color:#555}
+svg{display:block}
+</style></head><body>
+<h1>%s</h1>
+`, html.EscapeString(title), html.EscapeString(title))
+	fmt.Fprintf(&b, "<p class=\"lbl\">resolution %d ns/bucket, %d buckets</p>\n",
+		int64(m.Resolution()), m.NumBuckets())
+
+	writeHeatmap(&b, m)
+	writeSparklines(&b, m)
+	writeHistCharts(&b, m)
+	writeOSTTable(&b, m, opts)
+
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ostSeries returns the per-target gauges matching "ost.<n>.<field>",
+// sorted by target index.
+func ostSeries(m *metrics.Metrics, field string) (idx []int, gs []*metrics.Gauge) {
+	for _, g := range m.Gauges() {
+		parts := strings.Split(g.Name(), ".")
+		if len(parts) == 3 && parts[0] == "ost" && parts[2] == field && isUint(parts[1]) {
+			n, _ := strconv.Atoi(parts[1])
+			idx = append(idx, n)
+			gs = append(gs, g)
+		}
+	}
+	sort.Sort(&ostSorter{idx, gs})
+	return idx, gs
+}
+
+type ostSorter struct {
+	idx []int
+	gs  []*metrics.Gauge
+}
+
+func (s *ostSorter) Len() int           { return len(s.idx) }
+func (s *ostSorter) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *ostSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.gs[i], s.gs[j] = s.gs[j], s.gs[i]
+}
+
+// downsample folds vals into at most maxHeatCols cells by summing
+// adjacent buckets; n is the full (padded) series length so all series
+// of one chart share a time axis.
+func downsample(vals []int64, n int) (cells []int64, window int) {
+	window = (n + maxHeatCols - 1) / maxHeatCols
+	if window < 1 {
+		window = 1
+	}
+	cells = make([]int64, (n+window-1)/window)
+	for i := 0; i < n; i++ {
+		var v int64
+		if i < len(vals) {
+			v = vals[i]
+		}
+		cells[i/window] += v
+	}
+	return cells, window
+}
+
+// heatColor maps a 0..1 utilisation onto a cold-to-hot fill.
+func heatColor(f float64) string {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	// Blue (hue 210) through red (hue 0) as utilisation rises.
+	return fmt.Sprintf("hsl(%d,75%%,%d%%)", int(210*(1-f)), 88-int(42*f))
+}
+
+// writeHeatmap renders per-OST busy fraction over time: one row per
+// target, one column per (downsampled) time window.
+func writeHeatmap(b *strings.Builder, m *metrics.Metrics) {
+	idx, gs := ostSeries(m, "busy_ns")
+	if len(gs) == 0 {
+		return
+	}
+	n := m.NumBuckets()
+	cellW, cellH := 8, 14
+	var grid [][]int64
+	var window int
+	for _, g := range gs {
+		cells, win := downsample(g.Values(), n)
+		grid = append(grid, cells)
+		window = win
+	}
+	cols := 0
+	if len(grid) > 0 {
+		cols = len(grid[0])
+	}
+	b.WriteString("<h2>per-OST utilisation heatmap</h2>\n")
+	fmt.Fprintf(b, "<p class=\"lbl\">busy fraction per %d ns window (blue idle &rarr; red saturated)</p>\n",
+		int64(window)*int64(m.Resolution()))
+	fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\">\n", 40+cols*cellW, len(grid)*cellH+4)
+	span := float64(window) * float64(m.Resolution())
+	for row, cells := range grid {
+		fmt.Fprintf(b, "<text x=\"0\" y=\"%d\" font-size=\"10\">ost%d</text>\n",
+			row*cellH+11, idx[row])
+		for col, v := range cells {
+			fmt.Fprintf(b, "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\"/>\n",
+				40+col*cellW, row*cellH, cellW-1, cellH-1, heatColor(float64(v)/span))
+		}
+	}
+	b.WriteString("</svg>\n")
+}
+
+// writeSparklines renders one small polyline per gauge series. Delta
+// series are integrated so the line shows occupancy.
+func writeSparklines(b *strings.Builder, m *metrics.Metrics) {
+	gauges := m.Gauges()
+	if len(gauges) == 0 {
+		return
+	}
+	n := m.NumBuckets()
+	b.WriteString("<h2>series</h2>\n")
+	const width, height = 600, 36
+	for _, g := range gauges {
+		vals := g.Values()
+		series := make([]int64, n)
+		var run, peak int64
+		for i := 0; i < n; i++ {
+			var v int64
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if g.Mode() == metrics.ModeDelta {
+				run += v
+				v = run
+			}
+			series[i] = v
+			if v > peak {
+				peak = v
+			}
+		}
+		fmt.Fprintf(b, "<div class=\"spark\"><span class=\"lbl\">%s (%s, peak %d)</span><br>\n",
+			html.EscapeString(g.Name()), g.Mode(), peak)
+		fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\"><polyline fill=\"none\" stroke=\"#36c\" stroke-width=\"1\" points=\"", width, height)
+		den := peak
+		if den == 0 {
+			den = 1
+		}
+		step := float64(width)
+		if n > 1 {
+			step = float64(width) / float64(n-1)
+		}
+		for i, v := range series {
+			y := height - 2 - int(float64(height-4)*float64(v)/float64(den))
+			fmt.Fprintf(b, "%d,%d ", int(float64(i)*step), y)
+		}
+		b.WriteString("\"/></svg></div>\n")
+	}
+}
+
+// writeHistCharts renders each histogram as a bar chart over its
+// non-empty bucket range.
+func writeHistCharts(b *strings.Builder, m *metrics.Metrics) {
+	hists := m.Hists()
+	if len(hists) == 0 {
+		return
+	}
+	b.WriteString("<h2>latency histograms</h2>\n")
+	const barW, height = 7, 60
+	for _, h := range hists {
+		counts := h.Counts()
+		var peak int64
+		for _, c := range counts {
+			if c > peak {
+				peak = c
+			}
+		}
+		if peak == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "<div class=\"spark\"><span class=\"lbl\">%s: count %d, min %d, p50 %d, p99 %d, max %d</span><br>\n",
+			html.EscapeString(h.Name()), h.Count(), h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+		fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\">\n", len(counts)*barW, height)
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			hh := int(float64(height-2) * float64(c) / float64(peak))
+			if hh < 1 {
+				hh = 1
+			}
+			fmt.Fprintf(b, "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#593\"><title>[%d,%d): %d</title></rect>\n",
+				i*barW, height-hh, barW-1, hh,
+				metrics.HistBucketLow(i), metrics.HistBucketLow(i+1), c)
+		}
+		b.WriteString("</svg></div>\n")
+	}
+}
+
+// writeOSTTable renders the per-target summary: busy time, utilisation
+// of the recorded span, peak queue depth — and, when provided, the
+// probe-attributed rank stall time (the same attribution the
+// Darshan-style report prints, so the two agree by construction).
+func writeOSTTable(b *strings.Builder, m *metrics.Metrics, opts DashOptions) {
+	idx, busy := ostSeries(m, "busy_ns")
+	if len(busy) == 0 {
+		return
+	}
+	_, depth := ostSeries(m, "depth")
+	span := int64(m.NumBuckets()) * int64(m.Resolution())
+	b.WriteString("<h2>per-OST summary</h2>\n<table>\n<tr><th class=\"l\">target</th><th>busy ns</th><th>busy %</th><th>peak depth</th>")
+	if opts.OSTStall != nil {
+		b.WriteString("<th>rank stall ns</th>")
+	}
+	b.WriteString("</tr>\n")
+	for i, g := range busy {
+		var peakDepth int64
+		if i < len(depth) {
+			peakDepth = depth[i].Peak()
+		}
+		pct := 0.0
+		if span > 0 {
+			pct = 100 * float64(g.Total()) / float64(span)
+		}
+		fmt.Fprintf(b, "<tr><td class=\"l\">ost%d</td><td>%d</td><td>%.1f</td><td>%d</td>",
+			idx[i], g.Total(), pct, peakDepth)
+		if opts.OSTStall != nil {
+			fmt.Fprintf(b, "<td>%d</td>", opts.OSTStall[idx[i]])
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+}

@@ -1,0 +1,150 @@
+// Package export renders a metrics sink into consumer formats: a
+// Prometheus text-format snapshot, a CSV timeseries, a self-contained
+// HTML dashboard, a compact text summary, and an A/B diff between two
+// snapshots. All renderers are deterministic functions of the sink
+// (sorted iteration, no wall clock), so their outputs are golden-file
+// testable and two runs with equal telemetry produce byte-equal files.
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"collio/internal/metrics"
+)
+
+// promSample is one rendered sample line of a family.
+type promSample struct {
+	labels string // rendered {k="v"} block, empty for none
+	value  int64
+}
+
+// promFamily groups the samples of one metric family.
+type promFamily struct {
+	name    string
+	kind    string // "gauge" or "counter"
+	help    string
+	samples []promSample
+}
+
+// sanitizeProm maps a dotted series segment into a Prometheus-legal
+// metric-name fragment.
+func sanitizeProm(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// isUint reports whether s is a plain decimal number.
+func isUint(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// promName lifts a dotted series name into a family name plus a label
+// block: the numeric or categorical middle segment of "ost.3.busy_ns",
+// "link.2.tx_busy_ns" and "phase.shuffle.rank_ns" becomes an ost=/link=/
+// phase= label, everything else maps dots to underscores. All families
+// carry the collio_ prefix.
+func promName(series string) (family, labels string) {
+	parts := strings.Split(series, ".")
+	if len(parts) == 3 {
+		switch {
+		case (parts[0] == "ost" || parts[0] == "link") && isUint(parts[1]):
+			return "collio_" + parts[0] + "_" + sanitizeProm(parts[2]),
+				`{` + parts[0] + `="` + parts[1] + `"}`
+		case parts[0] == "phase":
+			return "collio_phase_" + sanitizeProm(parts[2]),
+				`{phase="` + sanitizeProm(parts[1]) + `"}`
+		}
+	}
+	return "collio_" + sanitizeProm(strings.Join(parts, "_")), ""
+}
+
+// gaugeScalar reduces a gauge series to the scalar its snapshot sample
+// reports: total busy/occupancy for sum gauges, the global maximum for
+// max gauges, and peak integrated occupancy for delta gauges (whose
+// family gains a _peak suffix to say so).
+func gaugeScalar(g *metrics.Gauge) (suffix string, v int64) {
+	switch g.Mode() {
+	case metrics.ModeSum:
+		return "", g.Total()
+	case metrics.ModeMax:
+		return "", g.Peak()
+	default: // ModeDelta
+		return "_peak", g.Peak()
+	}
+}
+
+// WriteProm renders the sink as a Prometheus text-format (version
+// 0.0.4) snapshot: one sample per gauge plus full histogram families.
+func WriteProm(w io.Writer, m *metrics.Metrics) error {
+	fams := make(map[string]*promFamily)
+	add := func(name, kind, help string, s promSample) {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, kind: kind, help: help}
+			fams[name] = f
+		}
+		f.samples = append(f.samples, s)
+	}
+	for _, g := range m.Gauges() {
+		fam, labels := promName(g.Name())
+		suffix, v := gaugeScalar(g)
+		add(fam+suffix, "gauge",
+			fmt.Sprintf("snapshot of series %s (%s)", g.Name(), g.Mode()),
+			promSample{labels: labels, value: v})
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, s := range f.samples {
+			fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.value)
+		}
+	}
+	for _, h := range m.Hists() {
+		fam, labels := promName(h.Name())
+		fmt.Fprintf(w, "# HELP %s distribution of %s\n# TYPE %s histogram\n", fam, h.Name(), fam)
+		var cum int64
+		for i, c := range h.Counts() {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			fmt.Fprintf(w, "%s_bucket%s %d\n", fam, promLabels(labels, "le", strconv.FormatInt(metrics.HistBucketLow(i+1), 10)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam, promLabels(labels, "le", "+Inf"), h.Count())
+		fmt.Fprintf(w, "%s_sum%s %d\n", fam, labels, h.Sum())
+		fmt.Fprintf(w, "%s_count%s %d\n", fam, labels, h.Count())
+	}
+	return nil
+}
+
+// promLabels merges an extra label into a rendered label block.
+func promLabels(block, key, val string) string {
+	extra := key + `="` + val + `"`
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(block, "}") + "," + extra + "}"
+}

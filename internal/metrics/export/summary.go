@@ -1,0 +1,24 @@
+package export
+
+import (
+	"fmt"
+	"io"
+
+	"collio/internal/metrics"
+)
+
+// WriteSummary renders a compact per-series text summary: one line per
+// gauge (total and peak) and one per histogram (count, bounds and
+// quantiles). This is what -metrics prints to stdout after a run.
+func WriteSummary(w io.Writer, m *metrics.Metrics) error {
+	fmt.Fprintf(w, "metrics: res=%dns buckets=%d\n", int64(m.Resolution()), m.NumBuckets())
+	for _, g := range m.Gauges() {
+		fmt.Fprintf(w, "  gauge %-28s %-5s total=%-14d peak=%d\n",
+			g.Name(), g.Mode(), g.Total(), g.Peak())
+	}
+	for _, h := range m.Hists() {
+		fmt.Fprintf(w, "  hist  %-28s count=%-8d min=%-10d p50=%-10d p99=%-10d max=%d\n",
+			h.Name(), h.Count(), h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package metrics
+
+// The live sweep heartbeat. This is the single wall-clock file of the
+// package: it reports host-side progress (runs completed, elapsed,
+// ETA) of a long sweep to a terminal and never touches simulated
+// state, so the wallclock analyzer exempts exactly this file while the
+// rest of internal/metrics stays inside the deterministic zone.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a heartbeat over a set of jobs whose total may grow as a
+// sweep discovers work (each batch adds to the denominator). All
+// methods are nil-safe, so disabled progress costs one pointer test.
+type Progress struct {
+	out   io.Writer
+	label string
+
+	total atomic.Int64
+	done  atomic.Int64
+
+	mu      sync.Mutex
+	start   time.Time
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// NewProgress returns a heartbeat labelled label (e.g. "runs") writing
+// to out. Call Start to begin emitting.
+func NewProgress(label string, out io.Writer) *Progress {
+	return &Progress{out: out, label: label}
+}
+
+// AddTotal grows the expected-job denominator by n.
+func (p *Progress) AddTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Add(int64(n))
+}
+
+// Done records n completed jobs.
+func (p *Progress) Done(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// Start launches the heartbeat goroutine: one status line per second,
+// rewritten in place with a carriage return.
+func (p *Progress) Start() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.start = time.Now()
+	p.stop = make(chan struct{})
+	p.stopped.Add(1)
+	go func(stop chan struct{}) {
+		defer p.stopped.Done()
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fmt.Fprintf(p.out, "\r%s  ", p.line())
+			}
+		}
+	}(p.stop)
+}
+
+// Stop ends the heartbeat and prints a final newline-terminated line.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop == nil {
+		return
+	}
+	close(p.stop)
+	p.stopped.Wait()
+	p.stop = nil
+	fmt.Fprintf(p.out, "\r%s\n", p.line())
+}
+
+// line renders the current status: completed/total, percent, elapsed
+// and — once at least one job has finished — a remaining-time estimate
+// extrapolated from the mean completed-job duration.
+func (p *Progress) line() string {
+	done, total := p.done.Load(), p.total.Load()
+	elapsed := time.Since(p.start).Round(time.Second)
+	if total <= 0 {
+		return fmt.Sprintf("%s: %d done, elapsed %v", p.label, done, elapsed)
+	}
+	pct := 100 * float64(done) / float64(total)
+	eta := "?"
+	if done > 0 && done <= total {
+		rem := time.Duration(float64(time.Since(p.start)) / float64(done) * float64(total-done))
+		eta = rem.Round(time.Second).String()
+	}
+	return fmt.Sprintf("%s: %d/%d (%.0f%%), elapsed %v, eta %s",
+		p.label, done, total, pct, elapsed, eta)
+}

@@ -217,3 +217,93 @@ func Attribute(p *probe.Probe) Attribution {
 	}
 	return out
 }
+
+// AttributeOST apportions the run's stall-inside-write time (the
+// §III-A.1 pathology Attribute reports as Sum.StallInWrite) across
+// storage targets, answering "which OST's backlog was the collective
+// stalled behind". KindOSTQueue samples carry the backlog each chunk
+// found at its target; every sample landing inside some rank's
+// stall∩write window votes for its target with that backlog as weight,
+// and the stall total is split by weight share. When no sample lands in
+// a stall window (stall windows exist but queue traffic fell outside
+// them), all samples vote, keeping the split defined whenever there is
+// both stall and storage traffic. Runs without stall-in-write, without
+// samples, or with a nil probe return an empty map.
+//
+// The result feeds both the Darshan-style report's per-target stall
+// column and the metrics dashboard's per-OST table, so the two agree by
+// construction.
+func AttributeOST(p *probe.Probe) map[int]sim.Time {
+	at := Attribute(p)
+	if at.Sum.StallInWrite == 0 {
+		return map[int]sim.Time{}
+	}
+	// Rebuild the per-rank stall∩write∩window intervals and union them
+	// into one global "somebody stalled inside a write" timeline.
+	type rankIvs struct{ window, write, stall []ival }
+	byRank := map[int]*rankIvs{}
+	get := func(rank int) *rankIvs {
+		ri := byRank[rank]
+		if ri == nil {
+			ri = &rankIvs{}
+			byRank[rank] = ri
+		}
+		return ri
+	}
+	for _, ev := range p.Events() {
+		if ev.Dur <= 0 {
+			continue
+		}
+		iv := ival{ev.At, ev.End()}
+		switch {
+		case ev.Layer == probe.LayerFcoll && ev.Kind == probe.KindCollOp:
+			get(ev.Rank).window = append(get(ev.Rank).window, iv)
+		case ev.Layer == probe.LayerFcoll && ev.Kind == probe.KindPhase &&
+			(ev.Cause == probe.CauseWrite || ev.Cause == probe.CauseRead):
+			get(ev.Rank).write = append(get(ev.Rank).write, iv)
+		case ev.Layer == probe.LayerMPI && ev.Kind == probe.KindStall:
+			get(ev.Rank).stall = append(get(ev.Rank).stall, iv)
+		}
+	}
+	var all []ival
+	for _, ri := range byRank {
+		win := normalize(ri.window)
+		write := intersect(normalize(ri.write), win)
+		all = append(all, intersect(normalize(ri.stall), write)...)
+	}
+	union := normalize(all)
+	inUnion := func(t sim.Time) bool {
+		i := sort.Search(len(union), func(i int) bool { return union[i].hi > t })
+		return i < len(union) && union[i].lo <= t
+	}
+	weights := map[int]int64{}
+	var totalW int64
+	weigh := func(restrict bool) {
+		for _, ev := range p.Events() {
+			if ev.Layer != probe.LayerFS || ev.Kind != probe.KindOSTQueue {
+				continue
+			}
+			if restrict && !inUnion(ev.At) {
+				continue
+			}
+			w := int64(ev.Dur)
+			if w < 1 {
+				w = 1
+			}
+			weights[int(ev.V)] += w
+			totalW += w
+		}
+	}
+	weigh(true)
+	if totalW == 0 {
+		weigh(false)
+	}
+	out := make(map[int]sim.Time, len(weights))
+	if totalW == 0 {
+		return out
+	}
+	for tgt, w := range weights {
+		out[tgt] = sim.Time(float64(at.Sum.StallInWrite) * float64(w) / float64(totalW))
+	}
+	return out
+}

@@ -69,6 +69,41 @@ func TestAttributeEmpty(t *testing.T) {
 	}
 }
 
+// TestAttributeOST pins the per-target stall split: the synthetic
+// probe's 20 ns of stall-in-write apportions across targets by the
+// backlog weight of the OSTQueue samples inside the stall window.
+func TestAttributeOST(t *testing.T) {
+	p := syntheticProbe()
+	// Stall∩write = [20,40). Target 0 sampled inside it with backlog 30,
+	// target 1 inside with backlog 10, target 2 outside the window only.
+	p.Emit(probe.Event{At: 25, Dur: 30, Layer: probe.LayerFS, Kind: probe.KindOSTQueue, Rank: 0, Peer: -1, Cycle: -1, V: 0})
+	p.Emit(probe.Event{At: 35, Dur: 10, Layer: probe.LayerFS, Kind: probe.KindOSTQueue, Rank: 0, Peer: -1, Cycle: -1, V: 1})
+	p.Emit(probe.Event{At: 80, Dur: 99, Layer: probe.LayerFS, Kind: probe.KindOSTQueue, Rank: 0, Peer: -1, Cycle: -1, V: 2})
+	st := AttributeOST(p)
+	if st[0] != 15 || st[1] != 5 {
+		t.Fatalf("stall split = %v, want 15/5 across targets 0/1", st)
+	}
+	if _, ok := st[2]; ok {
+		t.Fatalf("target 2 outside the stall window got stall: %v", st)
+	}
+}
+
+// TestAttributeOSTFallback: samples all outside the stall windows still
+// split the stall total (by overall backlog weight) rather than losing
+// it.
+func TestAttributeOSTFallback(t *testing.T) {
+	p := syntheticProbe()
+	p.Emit(probe.Event{At: 80, Dur: 30, Layer: probe.LayerFS, Kind: probe.KindOSTQueue, Rank: 0, Peer: -1, Cycle: -1, V: 4})
+	st := AttributeOST(p)
+	if st[4] != 20 {
+		t.Fatalf("fallback stall split = %v, want all 20 on target 4", st)
+	}
+	// No stall at all → empty map.
+	if st := AttributeOST(probe.New()); len(st) != 0 {
+		t.Fatalf("empty probe gave stall %v", st)
+	}
+}
+
 func TestIntervalOps(t *testing.T) {
 	a := normalize([]ival{{5, 10}, {0, 5}, {20, 30}, {25, 28}, {7, 7}})
 	if len(a) != 2 || a[0] != (ival{0, 10}) || a[1] != (ival{20, 30}) {

@@ -78,10 +78,13 @@ func WriteReport(w io.Writer, p *probe.Probe, opts ReportOptions) error {
 	}
 	if len(osts) > 0 {
 		sort.Slice(osts, func(i, j int) bool { return osts[i].target < osts[j].target })
+		// Per-target share of the stall-inside-write pathology, the same
+		// apportionment the metrics dashboard's per-OST table shows.
+		ostStall := AttributeOST(p)
 		fmt.Fprintf(&b, "\n## per-target access\n")
-		fmt.Fprintf(&b, "%-8s %14s %8s\n", "target", "bytes", "ops")
+		fmt.Fprintf(&b, "%-8s %14s %8s %14s\n", "target", "bytes", "ops", "stall")
 		for _, o := range osts {
-			fmt.Fprintf(&b, "%-8d %14d %8d\n", o.target, o.bytes, o.op)
+			fmt.Fprintf(&b, "%-8d %14d %8d %14v\n", o.target, o.bytes, o.op, ostStall[o.target])
 		}
 	}
 

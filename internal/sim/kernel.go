@@ -220,6 +220,14 @@ type Kernel struct {
 	// stopped is set by Stop; Run drains no further events.
 	stopped bool
 
+	// ObserveDepth, if non-nil, is called by the sequential Run loop
+	// after each fired event with the current virtual time and the
+	// remaining event-queue depth. Observation only (host-side appends;
+	// no scheduling, no randomness). The partitioned executor does not
+	// call it — per-LP queue depth describes the execution engine, not
+	// the modelled system, and has no sequential counterpart.
+	ObserveDepth func(at Time, depth int)
+
 	// lp and part identify this kernel as one logical process of a
 	// partitioned run (see parallel.go). Both stay zero/nil for an
 	// ordinary sequential kernel.
@@ -363,6 +371,9 @@ func (k *Kernel) Run() Time {
 		e := k.events.popMin()
 		k.now = e.at
 		k.fire(&e)
+		if k.ObserveDepth != nil {
+			k.ObserveDepth(k.now, len(k.events))
+		}
 	}
 	if k.stopped {
 		k.drain()

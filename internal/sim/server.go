@@ -28,6 +28,13 @@ type Server struct {
 	// Noise, if non-nil, returns a multiplicative service-time factor
 	// (>= 0) for one request; 1.0 means no perturbation.
 	Noise func() float64
+	// ObserveService, if non-nil, is called in kernel context the moment
+	// a request enters service, with the service interval [start, end).
+	// Observation only: the callback must append to host-side state and
+	// nothing else — no event scheduling, no randomness — the metrics
+	// contract, same as the probe layer's. The nil check is the entire
+	// cost on the telemetry-off hot path.
+	ObserveService func(start, end Time)
 
 	queues  map[interface{}][]*serverReq
 	ring    []interface{} // flows with pending requests, service order
@@ -154,6 +161,9 @@ func (s *Server) SubmitFlowOnStart(flow interface{}, size int64, onStart func())
 		s.serving = true
 		s.busyTime += d
 		s.serviceEnd = s.k.now + d
+		if s.ObserveService != nil {
+			s.ObserveService(s.k.now, s.serviceEnd)
+		}
 		if onStart != nil {
 			onStart()
 		}
@@ -195,6 +205,9 @@ func (s *Server) serveNext() {
 		s.busyTime += req.d
 		s.backlog -= req.d
 		s.serviceEnd = s.k.now + req.d
+		if s.ObserveService != nil {
+			s.ObserveService(s.k.now, s.serviceEnd)
+		}
 		if req.onStart != nil {
 			req.onStart()
 		}

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"collio/internal/metrics"
 	"collio/internal/probe"
 	"collio/internal/sim"
 	"collio/internal/simnet"
@@ -82,6 +83,14 @@ type FS struct {
 	targetK     []*sim.Kernel
 	targetLP    []int
 	probeShards []*probe.Probe
+
+	// Telemetry sinks (see internal/metrics): met for sequential runs,
+	// metShards one per LP when partitioned. ostDepth caches each
+	// target's queue-occupancy gauge so the per-chunk arrival sample is
+	// a slice load, not a map lookup.
+	met       *metrics.Metrics
+	metShards []*metrics.Metrics
+	ostDepth  []*metrics.Gauge
 }
 
 // New creates a file system whose chunk traffic shares the given
@@ -191,6 +200,76 @@ func (fs *FS) NumTargets() int { return len(fs.targets) }
 // observes — it never alters write or read timing.
 func (fs *FS) SetProbe(p *probe.Probe) { fs.probe = p }
 
+// SetMetrics attaches a telemetry sink: each storage target reports a
+// busy-time series, a queue-occupancy series and per-chunk service
+// times, and every write/read call records client-observed chunk
+// latency. Recording is host-side appends plus completion observation
+// on already-existing futures — timing and digests are unchanged.
+func (fs *FS) SetMetrics(m *metrics.Metrics) {
+	fs.met = m
+	fs.wireTargetMetrics()
+}
+
+// SetMetricsShards attaches one telemetry sink per LP for partitioned
+// execution: a target's series record on the LP hosting its server,
+// client-side chunk latency on the client node's LP. The run's owner
+// folds the shards with metrics.MergeShards afterwards.
+func (fs *FS) SetMetricsShards(shards []*metrics.Metrics) {
+	fs.metShards = shards
+	fs.wireTargetMetrics()
+}
+
+// metricsFor returns the telemetry sink for state recorded on node's
+// LP (the sequential sink when not partitioned).
+func (fs *FS) metricsFor(node int) *metrics.Metrics {
+	if fs.metShards != nil {
+		return fs.metShards[node]
+	}
+	return fs.met
+}
+
+// wireTargetMetrics binds each target server's per-service observation
+// to the sink of the LP the target lives on.
+func (fs *FS) wireTargetMetrics() {
+	fs.ostDepth = nil
+	depth := make([]*metrics.Gauge, len(fs.targets))
+	any := false
+	for i, srv := range fs.targets {
+		m := fs.met
+		if fs.metShards != nil {
+			m = fs.metShards[fs.targetLP[i]]
+		}
+		if m == nil {
+			srv.ObserveService = nil
+			continue
+		}
+		any = true
+		depth[i] = m.Gauge(metrics.OSTDepth(i), metrics.ModeMax)
+		busy := m.Gauge(metrics.OSTBusy(i), metrics.ModeSum)
+		svc := m.Hist(metrics.OSTService)
+		srv.ObserveService = func(start, end sim.Time) {
+			busy.AddSpan(start, end)
+			svc.Record(int64(end - start))
+		}
+	}
+	if any {
+		fs.ostDepth = depth
+	}
+}
+
+// observeChunkLatency records the client-observed submit-to-persist
+// latency of one chunk when its completion future fires. OnDone on an
+// already-created future is the sanctioned observation hook: it adds a
+// zero-delay continuation on the client's own LP and cannot reorder
+// events, so digests stay bit-identical with metrics on or off.
+func observeChunkLatency(h *metrics.Hist, k *sim.Kernel, fut *sim.Future) {
+	if h == nil {
+		return
+	}
+	t0 := k.Now()
+	fut.OnDone(func() { h.Record(int64(k.Now() - t0)) })
+}
+
 // observeIO registers a begin/end span for one file-system call on the
 // call's completion future. Rank is the client *node* (the fs layer has
 // no rank notion); V carries the file offset.
@@ -239,6 +318,14 @@ func (fs *FS) sampleOSTQueue(clientNode, target int, size int64) {
 	} else {
 		k = fs.k
 		p = fs.probeFor(clientNode)
+	}
+	if fs.ostDepth != nil {
+		if g := fs.ostDepth[target]; g != nil {
+			// Occupancy including the arriving chunk (QueueDepth counts
+			// only once arrival delays have elapsed, and the chunk has
+			// not yet enqueued here).
+			g.Observe(k.Now(), int64(fs.targets[target].QueueDepth()+1))
+		}
 	}
 	if p == nil {
 		return
@@ -332,6 +419,10 @@ func (f *File) startWrite(clientNode int, off, size int64, data []byte) *sim.Fut
 		return out
 	}
 	var futs []*sim.Future
+	var latH *metrics.Hist
+	if m := f.fs.metricsFor(clientNode); m != nil {
+		latH = m.Hist(metrics.ChunkLatency)
+	}
 	// All chunks of one write call share a flow: they stream in order
 	// through the client NIC without starving concurrent transfers.
 	flow := new(byte)
@@ -342,9 +433,11 @@ func (f *File) startWrite(clientNode int, off, size int64, data []byte) *sim.Fut
 		srv := f.fs.targets[tgt]
 		f.fs.observeChunk(clientNode, tgt, n)
 		if local {
-			futs = append(futs, srv.SubmitFlowAfterOnArrive(nil, f.fs.cfg.ClientPerOp, n, func() {
+			fut := srv.SubmitFlowAfterOnArrive(nil, f.fs.cfg.ClientPerOp, n, func() {
 				f.fs.sampleOSTQueue(clientNode, tgt, n)
-			}))
+			})
+			observeChunkLatency(latH, k, fut)
+			futs = append(futs, fut)
 			continue
 		}
 		// Remote: inject on the client NIC, then cross the wire, then
@@ -378,6 +471,7 @@ func (f *File) startWrite(clientNode int, off, size int64, data []byte) *sim.Fut
 				})
 			})
 		}
+		observeChunkLatency(latH, k, done)
 		futs = append(futs, done)
 	}
 	out := k.Join(futs...)
@@ -512,6 +606,10 @@ func (f *File) startRead(clientNode int, off, size int64, buf []byte) *sim.Futur
 		return out
 	}
 	var futs []*sim.Future
+	var latH *metrics.Hist
+	if m := f.fs.metricsFor(clientNode); m != nil {
+		latH = m.Hist(metrics.ChunkLatency)
+	}
 	flow := new(byte)
 	for _, ch := range f.chunkify(off, size) {
 		tgt := f.targetFor(ch.off)
@@ -520,9 +618,11 @@ func (f *File) startRead(clientNode int, off, size int64, buf []byte) *sim.Futur
 		srv := f.fs.targets[tgt]
 		f.fs.observeChunk(clientNode, tgt, n)
 		if local {
-			futs = append(futs, srv.SubmitFlowAfterOnArrive(nil, f.fs.cfg.ClientPerOp, n, func() {
+			fut := srv.SubmitFlowAfterOnArrive(nil, f.fs.cfg.ClientPerOp, n, func() {
 				f.fs.sampleOSTQueue(clientNode, tgt, n)
-			}))
+			})
+			observeChunkLatency(latH, f.fs.k, fut)
+			futs = append(futs, fut)
 			continue
 		}
 		// Remote: the target serves the chunk, then it crosses the
@@ -537,6 +637,7 @@ func (f *File) startRead(clientNode int, off, size int64, buf []byte) *sim.Futur
 			in := cl.SubmitFlowAfter(flow, lat, n)
 			in.OnDone(done.Complete)
 		})
+		observeChunkLatency(latH, f.fs.k, done)
 		futs = append(futs, done)
 	}
 	out := f.fs.k.Join(futs...)

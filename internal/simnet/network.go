@@ -13,6 +13,7 @@ package simnet
 import (
 	"fmt"
 
+	"collio/internal/metrics"
 	"collio/internal/probe"
 	"collio/internal/sim"
 )
@@ -182,6 +183,38 @@ func (n *Network) SetProbeShards(shards []*probe.Probe) {
 	for i := range n.shards {
 		n.shards[i].probe = shards[i]
 	}
+}
+
+// SetMetrics attaches a telemetry sink: every node's injection (tx) and
+// delivery (rx) port reports its service intervals into a per-node
+// link-utilisation series. Recording is pure host-side appends at
+// service-start instants the simulator already visits, so timing and
+// digests are unchanged (the metrics contract).
+func (n *Network) SetMetrics(m *metrics.Metrics) {
+	for i, nd := range n.nodes {
+		wireNodeMetrics(m, i, nd)
+	}
+}
+
+// SetMetricsShards attaches one telemetry sink per LP for partitioned
+// execution: node i's ports record into shards[i], which the run's
+// owner folds with metrics.MergeShards afterwards. Link series live
+// entirely on their node's LP, so the fold reproduces the sequential
+// recording exactly.
+func (n *Network) SetMetricsShards(shards []*metrics.Metrics) {
+	for i, nd := range n.nodes {
+		wireNodeMetrics(shards[i], i, nd)
+	}
+}
+
+func wireNodeMetrics(m *metrics.Metrics, i int, nd *Node) {
+	if m == nil {
+		return
+	}
+	tx := m.Gauge(metrics.LinkBusy(i, "tx"), metrics.ModeSum)
+	rx := m.Gauge(metrics.LinkBusy(i, "rx"), metrics.ModeSum)
+	nd.tx.ObserveService = func(start, end sim.Time) { tx.AddSpan(start, end) }
+	nd.rx.ObserveService = func(start, end sim.Time) { rx.AddSpan(start, end) }
 }
 
 // Config returns the network configuration.
