@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet collvet test race race-parallel bench bench-diff metrics-smoke
+.PHONY: check build vet collvet test race race-parallel bench bench-diff metrics-smoke scale-smoke
 
 check: build vet collvet race-parallel race
 
@@ -50,8 +50,8 @@ race-parallel:
 # equivalence tests — under the race detector. Perf numbers come from
 # bench, concurrency-correctness evidence from race.
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR7.json
-BENCHBASE ?= BENCH_PR5.json
+BENCHOUT ?= BENCH_PR8.json
+BENCHBASE ?= BENCH_PR7.json
 BENCHDIFF = $(if $(wildcard $(BENCHBASE)),-diff $(BENCHBASE),)
 
 bench:
@@ -73,11 +73,20 @@ BENCHFAIL ?= 30
 # covers the short benchmarks the ns/op gate must exclude: PR 4's 32%
 # alloc win cannot silently erode anywhere.
 BENCHALLOCFAIL ?= 5
-BENCHGATE ?= ScaleSweep|ParallelRun
-BENCHALLOCGATE ?= RunSeries|TableISweep|ScaleSweep|ParallelRun
+BENCHGATE ?= ScaleSweep|ParallelRun|CohortScale
+BENCHALLOCGATE ?= RunSeries|TableISweep|ScaleSweep|ParallelRun|CohortScale
 
 bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff $(BENCHBASE) -fail-above $(BENCHFAIL) -fail-allocs-above $(BENCHALLOCFAIL) -gate '$(BENCHGATE)' -allocs-gate '$(BENCHALLOCGATE)' > /dev/null
+
+# `make scale-smoke` is the acceptance check for the bundled cohort
+# executor's scale path: a 65536-rank IOR collective write on the fluid
+# network model must finish inside the test's 10-second wall budget
+# (the run itself takes well under a second; the budget absorbs loaded
+# hosts). -count=1 defeats the test cache — a cached PASS proves
+# nothing about this host.
+scale-smoke:
+	$(GO) test -count=1 -run 'TestScaleSmoke65k' -v ./internal/exp/
 
 # `make metrics-smoke` exercises the telemetry surface end to end: one
 # small iorbench run with -metrics and -metrics-out, then the .prom

@@ -39,6 +39,7 @@ import (
 	"collio/internal/platform"
 	"collio/internal/probe"
 	"collio/internal/probe/export"
+	"collio/internal/simnet"
 	"collio/internal/stats"
 	"collio/internal/workload/tileio"
 )
@@ -53,6 +54,8 @@ func main() {
 		runs      = flag.Int("runs", 3, "measurements per series")
 		jobs      = flag.Int("j", exp.DefaultParallelism(), "max simulations run in parallel (results are identical at any -j)")
 		jrun      = flag.Int("jrun", 0, "window workers inside each scale-sweep simulation (>= 1 switches to the deterministic ibex model; 0 keeps the noisy E8 sweep)")
+		bundleF   = flag.Bool("bundle", false, "run the scale sweep on the bundled cohort executor (deterministic ibex scaled to the rank count; enables 100k-1M rank points, E11)")
+		netmodelF = flag.String("netmodel", "chunked", "simnet transfer model for bundled scale points: chunked|flow")
 		probeF    = flag.Bool("probe", false, "print the probe counter registry of the instrumented run")
 		traceJSON = flag.String("trace-json", "", "write a Chrome/Perfetto trace of the instrumented run to `file`")
 		report    = flag.Bool("report", false, "print a Darshan-style I/O report of the instrumented run")
@@ -63,6 +66,17 @@ func main() {
 	var prof cli.Profiler
 	prof.RegisterFlags()
 	flag.Parse()
+	// Reject unknown experiment names up front. The historical check sat
+	// at the bottom of main behind `if !ran` — but the observability
+	// flags force the probe run, so `-exp tabel1 -probe` used to run the
+	// wrong thing silently instead of failing.
+	if err := validateExp(*which); err != nil {
+		fatalf("%v", err)
+	}
+	netModel, ok := simnet.ParseNetModel(*netmodelF)
+	if !ok {
+		fatalf("unknown -netmodel %q (want chunked|flow)", *netmodelF)
+	}
 	if err := prof.Start(); err != nil {
 		fatalf("profiling: %v", err)
 	}
@@ -124,6 +138,8 @@ func main() {
 		ran = true
 		cfg := exp.DefaultScaleConfig()
 		cfg.JRun = *jrun
+		cfg.Bundle = *bundleF
+		cfg.NetModel = netModel
 		if *ranksFlag != "" {
 			cfg.RankCounts = nil
 			for _, s := range strings.Split(*ranksFlag, ",") {
@@ -141,17 +157,21 @@ func main() {
 		if err != nil {
 			fatalf("scale sweep: %v", err)
 		}
-		head := []string{"np", "Algorithm", "Simulated", "File volume", "Host wall-clock"}
+		head := []string{"np", "Algorithm", "Simulated", "File volume", "Host wall-clock", "Peak RSS"}
 		var rows [][]string
 		for _, p := range pts {
 			rows = append(rows, []string{
 				strconv.Itoa(p.NProcs), p.Algorithm, p.Elapsed.String(),
 				fmt.Sprintf("%.0f MiB", float64(p.Bytes)/(1<<20)),
 				p.Wall.Round(time.Millisecond).String(),
+				fmt.Sprintf("%d MiB", p.PeakRSS>>20),
 			})
 		}
 		title := "SCALE — IOR collective write on ibex (1 MiB per rank, one run per point)"
-		if *jrun >= 1 {
+		switch {
+		case *bundleF:
+			title = fmt.Sprintf("SCALE — IOR collective write, bundled cohort executor on deterministic ibex (-netmodel %v)", netModel)
+		case *jrun >= 1:
 			title = fmt.Sprintf("SCALE — IOR collective write on deterministic ibex (1 MiB per rank, -jrun %d)", *jrun)
 		}
 		fmt.Println(stats.RenderTable(title, head, rows))
@@ -280,11 +300,29 @@ func main() {
 	}
 
 	if !ran {
-		fatalf("unknown experiment %q (want table1|fig1|fig2|fig3|fig4|breakdown|probe|scale|all)", *which)
+		// Unreachable for experiment-name reasons (validateExp runs
+		// first); kept as a guard for future want() logic changes.
+		fatalf("experiment %q selected nothing to run", *which)
 	}
 	if err := prof.Stop(); err != nil {
 		fatalf("profiling: %v", err)
 	}
+}
+
+// validExperiments is the closed set of -exp names, in help order.
+var validExperiments = []string{
+	"table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "probe", "scale", "all",
+}
+
+// validateExp rejects unknown -exp names with the full list of valid
+// ones, before any flag combination can reinterpret the selection.
+func validateExp(name string) error {
+	for _, v := range validExperiments {
+		if name == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(validExperiments, "|"))
 }
 
 // probeRun executes one instrumented Tile I/O 1M collective write

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpAcceptsAllKnown(t *testing.T) {
+	for _, name := range validExperiments {
+		if err := validateExp(name); err != nil {
+			t.Errorf("validateExp(%q) = %v, want nil", name, err)
+		}
+	}
+}
+
+func TestValidateExpRejectsUnknown(t *testing.T) {
+	// "tabel1" is the regression shape: before the upfront check, a
+	// typoed -exp combined with any observability flag silently ran the
+	// probe experiment instead of failing.
+	for _, name := range []string{"tabel1", "", "Scale", "fig5", "all "} {
+		err := validateExp(name)
+		if err == nil {
+			t.Errorf("validateExp(%q) accepted", name)
+			continue
+		}
+		for _, v := range validExperiments {
+			if !strings.Contains(err.Error(), v) {
+				t.Errorf("validateExp(%q) error %q does not list %q", name, err, v)
+			}
+		}
+	}
+}

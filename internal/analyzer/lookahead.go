@@ -5,6 +5,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Lookahead promotes the conservative parallel executor's runtime
@@ -22,7 +23,17 @@ import (
 //     scheduling method (At/After/Spawn/SpawnAt) on the sending kernel
 //     inside that callback mutates another LP's event queue without
 //     mailbox buffering — the data race the one-kernel-per-worker rule
-//     exists to prevent.
+//     exists to prevent;
+//   - any ScheduleRemote reachable from a cohort receiver (a method on
+//     a type whose name contains "cohort", and every closure wired up
+//     inside one): the bundled cohort executor replays member
+//     completions as event wiring on a SINGLE sequential kernel, at
+//     whatever virtual time the batch completes — by construction below
+//     any partition lookahead — so cohort code must never be mixed with
+//     the partitioned executor. The rule is unconditional: even a
+//     constant delta above every known bound is rejected, because the
+//     bound that matters belongs to whichever partition later runs the
+//     wiring, not to the cohort code itself.
 //
 // The time argument is resolved by a symbolic constant propagation over
 // the CFG: facts are "this variable is Now()+c" or "this variable is
@@ -32,7 +43,7 @@ import (
 // queues by construction).
 var Lookahead = &Analyzer{
 	Name: "lookahead",
-	Doc:  "flag ScheduleRemote below the partition lookahead and cross-LP kernel access inside remote callbacks",
+	Doc:  "flag ScheduleRemote below the partition lookahead, cross-LP kernel access inside remote callbacks, and any ScheduleRemote in cohort replay wiring",
 	Run:  runLookahead,
 }
 
@@ -90,9 +101,36 @@ func runLookahead(pass *Pass) error {
 	bounds := collectLookaheadBounds(pass)
 	for _, fb := range funcDecls(pass.Files) {
 		bound, haveBound := bounds.forFunc(fb.decl)
-		checkLookaheadBody(pass, fb.decl.Body, bound, haveBound)
+		checkLookaheadBody(pass, fb.decl.Body, bound, haveBound, isCohortRecv(fb.decl))
 	}
 	return nil
+}
+
+// isCohortRecv reports whether fd is a method on a cohort type: one
+// whose name contains "cohort" (case-insensitive). The bundled cohort
+// executor names its types this way on purpose (exp.cohortRun) — the
+// name is the contract that the code inside runs on one sequential
+// kernel and must never touch the partitioned executor's remote
+// scheduling.
+func isCohortRecv(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return strings.Contains(strings.ToLower(x.Name), "cohort")
+		default:
+			return false
+		}
+	}
 }
 
 // lookaheadBounds holds the constant third arguments of NewPartition
@@ -151,7 +189,7 @@ func collectLookaheadBounds(pass *Pass) lookaheadBounds {
 	return lb
 }
 
-func checkLookaheadBody(pass *Pass, body *ast.BlockStmt, bound int64, haveBound bool) {
+func checkLookaheadBody(pass *Pass, body *ast.BlockStmt, bound int64, haveBound, cohort bool) {
 	if body == nil {
 		return
 	}
@@ -159,7 +197,7 @@ func checkLookaheadBody(pass *Pass, body *ast.BlockStmt, bound int64, haveBound 
 	if cfg.Unstructured {
 		return
 	}
-	la := &lookaheadChecker{pass: pass, bound: bound, haveBound: haveBound}
+	la := &lookaheadChecker{pass: pass, bound: bound, haveBound: haveBound, cohort: cohort}
 	facts := ForwardSolve(cfg, symState{},
 		func() symState { return symState{} },
 		joinSym,
@@ -172,9 +210,12 @@ func checkLookaheadBody(pass *Pass, body *ast.BlockStmt, bound int64, haveBound 
 	// Closures are opaque in the outer CFG; check each body on its own
 	// (free variables degrade to unknown — conservative, matching the
 	// real shapes where latencies are config fields, not constants).
+	// The cohort flag is inherited: a closure wired up inside a cohort
+	// method IS the replay wiring and runs on the same sequential
+	// kernel.
 	ast.Inspect(body, func(n ast.Node) bool {
 		if fl, ok := n.(*ast.FuncLit); ok {
-			checkLookaheadBody(pass, fl.Body, bound, haveBound)
+			checkLookaheadBody(pass, fl.Body, bound, haveBound, cohort)
 			return false
 		}
 		return true
@@ -185,6 +226,7 @@ type lookaheadChecker struct {
 	pass      *Pass
 	bound     int64
 	haveBound bool
+	cohort    bool
 	reporting bool
 }
 
@@ -261,6 +303,14 @@ func (la *lookaheadChecker) checkNode(n ast.Node, s symState) {
 		}
 		fn := calleeFunc(la.pass.Info, call)
 		if !isMethod(fn, "sim", "ScheduleRemote") {
+			return true
+		}
+		// R3: cohort replay wiring runs on one sequential kernel, below
+		// any partition lookahead by construction — every ScheduleRemote
+		// here is wrong, whatever its delta, so R1/R2 are moot.
+		if la.cohort {
+			la.pass.Reportf(call.Pos(),
+				"ScheduleRemote inside cohort replay: bundled cohort wiring runs on a single sequential kernel below the partition lookahead by construction; cohort types must not use the partitioned executor")
 			return true
 		}
 		// R1: statically-known delta below the lookahead.

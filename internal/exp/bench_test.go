@@ -6,6 +6,7 @@ import (
 
 	"collio/internal/fcoll"
 	"collio/internal/platform"
+	"collio/internal/simnet"
 )
 
 // benchSpec is a small-but-real collective write: large enough that a
@@ -82,6 +83,47 @@ func BenchmarkTableISweep(b *testing.B) {
 // The 4096-rank point runs only the jrun 1/4 pair — at ~2 min per
 // execution the full ladder belongs to the E9 sweep (evalsuite -exp
 // scale -jrun N), not the bench lane.
+// BenchmarkCohortScale pins the bundled cohort executor against the
+// flat (exact per-rank) executor on the deterministic ibex scale point,
+// crossed with the two network models. ns/op is the host wall-clock the
+// cohort work targets: the bundled/flat ratio at one rank count is the
+// speedup from collapsing non-aggregator ranks into event wiring, and
+// the flow/chunked ratio within the bundled variants is the fluid
+// model's win over per-chunk event trains. sim-ms/op differs between
+// bundled and flat by design (the bundled path is tolerance-validated,
+// not digest-identical; see DESIGN.md §14) but must be stable run to
+// run. The flat 65536-rank cells are skipped: 65536 ranks exceed the
+// physical ibex model (4320), which is precisely the regime the bundled
+// executor exists for.
+func BenchmarkCohortScale(b *testing.B) {
+	for _, np := range []int{4096, 65536} {
+		for _, mode := range []string{"bundled", "flat"} {
+			for _, nm := range []simnet.NetModel{simnet.ModelChunked, simnet.ModelFlow} {
+				b.Run(fmt.Sprintf("np%d/%s/%s", np, mode, nm), func(b *testing.B) {
+					if mode == "flat" && np > platform.Ibex().MaxProcs() {
+						b.Skipf("np %d exceeds the physical ibex model (%d ranks); flat execution is bundled-only territory",
+							np, platform.Ibex().MaxProcs())
+					}
+					spec := BundledScaleSpec(np, fcoll.WriteComm2Overlap, 1<<20, 17, nm)
+					if mode == "flat" {
+						spec.Bundle = false
+					}
+					b.ReportAllocs()
+					var simNS int64
+					for i := 0; i < b.N; i++ {
+						m, err := Execute(spec)
+						if err != nil {
+							b.Fatal(err)
+						}
+						simNS = int64(m.Elapsed)
+					}
+					b.ReportMetric(float64(simNS)/1e6, "sim-ms/op")
+				})
+			}
+		}
+	}
+}
+
 func BenchmarkParallelRun(b *testing.B) {
 	for _, np := range []int{1024, 4096} {
 		jruns := []int{1, 2, 4, 8}

@@ -14,6 +14,7 @@ import (
 	"collio/internal/platform"
 	"collio/internal/probe"
 	"collio/internal/sim"
+	"collio/internal/simnet"
 	"collio/internal/stats"
 	"collio/internal/trace"
 	"collio/internal/workload"
@@ -63,6 +64,16 @@ type Spec struct {
 	// exactly fall back to sequential execution silently. 0 (the
 	// default) always runs sequentially.
 	JRun int
+	// Bundle requests the bundled cohort executor: symmetric
+	// non-aggregator ranks collapse into per-node batched event wiring
+	// and collective ladders are charged in closed form, trading digest
+	// fidelity for O(aggregators + nodes) simulation state (the
+	// 100k–1M-rank scale path). Specs the bundled executor cannot
+	// certify — asymmetric workloads, read path, data mode, one-sided
+	// primitives, any noise — silently fall back to exact execution.
+	// Bundled runs are validated against exact runs by makespan
+	// tolerance (DESIGN.md §14), not digest equality.
+	Bundle bool
 }
 
 // Partitionable reports whether spec can run on the conservative
@@ -83,7 +94,8 @@ func Partitionable(spec Spec) bool {
 		!pf.ProgressThread &&
 		pf.NetNoiseSigma == 0 && pf.StorageNoiseSigma == 0 &&
 		pf.RunNoiseNet == 0 && pf.RunNoiseStorage == 0 &&
-		pf.RendezvousChunk < 0
+		pf.RendezvousChunk < 0 &&
+		pf.NetModel == simnet.ModelChunked
 }
 
 // Metrics is the outcome of one run.
@@ -112,6 +124,11 @@ const workloadSeed = 424242
 func Execute(spec Spec) (Metrics, error) {
 	if spec.NProcs <= 0 {
 		return Metrics{}, fmt.Errorf("exp: NProcs must be positive")
+	}
+	if spec.Bundle {
+		if m, ok, err := executeBundled(spec); ok || err != nil {
+			return m, err
+		}
 	}
 	bufSize := spec.BufferSize
 	if bufSize == 0 {

@@ -3,11 +3,13 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"collio/internal/fcoll"
 	"collio/internal/platform"
 	"collio/internal/sim"
+	"collio/internal/simnet"
 	"collio/internal/workload/ior"
 )
 
@@ -37,6 +39,20 @@ type ScaleConfig struct {
 	// simulated times must agree exactly; only host wall-clock may
 	// differ. JRun == 0 keeps the historical noisy sweep (E8).
 	JRun int
+	// Bundle runs every point on the bundled cohort executor
+	// (deterministic ibex model, scaled to the rank count): symmetric
+	// non-aggregator ranks collapse into per-node batches and the
+	// collective ladders are charged in closed form. This lifts the
+	// sweep's capacity limit — rank counts beyond the physical ibex
+	// model auto-scale the node count — and is the E11 regime
+	// (100k–1M ranks). Takes precedence over JRun (bundled execution is
+	// sequential).
+	Bundle bool
+	// NetModel selects the simnet transfer model for bundled points:
+	// ModelChunked (default, the exact reference) or ModelFlow (fluid
+	// max-min fair sharing, the scale fast path). Ignored unless Bundle
+	// is set — the pinned-digest experiments stay on the chunked model.
+	NetModel simnet.NetModel
 	// Progress, if non-nil, receives one line per completed point.
 	Progress io.Writer
 }
@@ -64,6 +80,13 @@ type ScalePoint struct {
 	// Wall is the host wall-clock the simulation itself took — the
 	// number the hot-path work targets.
 	Wall time.Duration
+	// PeakRSS is the Go runtime's total reserved memory
+	// (runtime.MemStats.Sys) sampled after the point completed. Sys is
+	// monotonic for the process, so within one sweep the column reads
+	// as the running peak: a point that needs more memory than any
+	// before it moves the number, one that fits in the already-reserved
+	// arena does not.
+	PeakRSS uint64
 }
 
 // ScaleSpec builds the Spec for one scale-sweep point, shared by the
@@ -95,6 +118,18 @@ func ParallelScaleSpec(np int, algo fcoll.Algorithm, perRankBytes, seed int64, j
 	return spec
 }
 
+// BundledScaleSpec is ScaleSpec on the deterministic ibex model with
+// the bundled cohort executor and the selected network model — the E11
+// configuration. Rank counts beyond the physical ibex model are legal:
+// the bundled executor scales the node count to fit.
+func BundledScaleSpec(np int, algo fcoll.Algorithm, perRankBytes, seed int64, nm simnet.NetModel) Spec {
+	spec := ScaleSpec(np, algo, perRankBytes, seed)
+	spec.Platform = spec.Platform.Deterministic()
+	spec.Platform.NetModel = nm
+	spec.Bundle = true
+	return spec
+}
+
 // RunScaleSweep executes the sweep. Points run sequentially — each one
 // is internally a whole simulated cluster, and sequential execution
 // keeps the per-point wall-clock numbers honest.
@@ -108,13 +143,18 @@ func RunScaleSweep(cfg ScaleConfig) ([]ScalePoint, error) {
 	pr.AddTotal(len(cfg.RankCounts) * len(cfg.Algorithms))
 	var out []ScalePoint
 	for _, np := range cfg.RankCounts {
-		if np > pf.MaxProcs() {
-			return nil, fmt.Errorf("exp: scale sweep np=%d exceeds %s capacity %d",
+		// Bundled points auto-scale the node count (BundledScaleSpec);
+		// exact points are bound by the physical ibex model.
+		if !cfg.Bundle && np > pf.MaxProcs() {
+			return nil, fmt.Errorf("exp: scale sweep np=%d exceeds %s capacity %d (use Bundle for larger counts)",
 				np, pf.Name, pf.MaxProcs())
 		}
 		for _, algo := range cfg.Algorithms {
 			spec := ScaleSpec(np, algo, cfg.PerRankBytes, cfg.Seed)
-			if cfg.JRun >= 1 {
+			switch {
+			case cfg.Bundle:
+				spec = BundledScaleSpec(np, algo, cfg.PerRankBytes, cfg.Seed, cfg.NetModel)
+			case cfg.JRun >= 1:
 				spec = ParallelScaleSpec(np, algo, cfg.PerRankBytes, cfg.Seed, cfg.JRun)
 			}
 			start := time.Now()
@@ -122,17 +162,20 @@ func RunScaleSweep(cfg ScaleConfig) ([]ScalePoint, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scale np=%d %v: %w", np, algo, err)
 			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
 			p := ScalePoint{
 				NProcs:    np,
 				Algorithm: algo.String(),
 				Elapsed:   m.Elapsed,
 				Bytes:     m.BytesWritten,
 				Wall:      time.Since(start),
+				PeakRSS:   ms.Sys,
 			}
 			out = append(out, p)
 			pr.Done(1)
-			pw.Printf("scale: np=%-5d %-22s sim=%-12v wall=%v\n",
-				p.NProcs, p.Algorithm, p.Elapsed, p.Wall.Round(time.Millisecond))
+			pw.Printf("scale: np=%-7d %-22s sim=%-12v wall=%-10v rss=%dMiB\n",
+				p.NProcs, p.Algorithm, p.Elapsed, p.Wall.Round(time.Millisecond), p.PeakRSS>>20)
 		}
 	}
 	return out, nil

@@ -176,7 +176,7 @@ func (ex *exec) setup() {
 		window /= 2
 		ex.slots = 2
 	}
-	ex.p = buildPlan(ex.jv, r.World(), window, ex.opts.Aggregators, ex.opts.Layout)
+	ex.p = buildPlan(ex.jv, r.Size(), r.World().Config().RanksPerNode, window, ex.opts.Aggregators, ex.opts.Layout)
 	ex.aggIdx = ex.p.aggIndexOf(r.ID())
 
 	oneSided := ex.opts.Primitive != TwoSided

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"collio/internal/datatype"
-	"collio/internal/mpi"
 )
 
 // seg is one contiguous piece of shuffle traffic. For send maps, off is
@@ -86,10 +85,10 @@ func (p *plan) rsegsOf(ro *recvOp) []seg { return p.recvSegs[ro.seg0 : ro.seg0+i
 
 // aggregatorRanks selects the aggregator set: count 0 means one per
 // occupied compute node (the first rank of each node), mirroring the
-// shape of ompio's automatic runtime selection.
-func aggregatorRanks(w *mpi.World, count int) []int {
-	rpn := w.Config().RanksPerNode
-	np := w.Size()
+// shape of ompio's automatic runtime selection. Pure in (np, rpn) so
+// both the per-rank executor and the bundled cohort executor derive
+// the identical set.
+func aggregatorRanks(np, rpn, count int) []int {
 	if count <= 0 {
 		var out []int
 		for r := 0; r < np; r += rpn {
@@ -112,7 +111,7 @@ func aggregatorRanks(w *mpi.World, count int) []int {
 // and layout. It runs host-side once per cache key and is shared by all
 // ranks; the metadata-exchange cost is charged separately in setup (see
 // exec.setup).
-func buildPlan(jv *JobView, w *mpi.World, window int64, aggregators int, layout DomainLayout) *plan {
+func buildPlan(jv *JobView, np, rpn int, window int64, aggregators int, layout DomainLayout) *plan {
 	if jv.planCache == nil {
 		jv.planCache = make(map[planKey]*plan)
 	}
@@ -123,7 +122,7 @@ func buildPlan(jv *JobView, w *mpi.World, window int64, aggregators int, layout 
 
 	start, end := jv.Bounds()
 	total := end - start
-	aggRanks := aggregatorRanks(w, aggregators)
+	aggRanks := aggregatorRanks(np, rpn, aggregators)
 	na := len(aggRanks)
 	p := &plan{
 		layout:   layout,
@@ -131,7 +130,7 @@ func buildPlan(jv *JobView, w *mpi.World, window int64, aggregators int, layout 
 		end:      end,
 		aggRanks: aggRanks,
 		window:   window,
-		np:       w.Size(),
+		np:       np,
 	}
 	switch layout {
 	case RoundRobinWindows:
@@ -193,7 +192,6 @@ func buildPlan(jv *JobView, w *mpi.World, window int64, aggregators int, layout 
 		}
 	}
 
-	np := p.np
 	nc := p.ncycles
 
 	// walk enumerates every contiguous (source range, window range) chunk

@@ -115,7 +115,7 @@ func (ex *readExec) setup() {
 		window /= 2
 		ex.slots = 2
 	}
-	ex.p = buildPlan(ex.jv, r.World(), window, ex.opts.Aggregators, ex.opts.Layout)
+	ex.p = buildPlan(ex.jv, r.Size(), r.World().Config().RanksPerNode, window, ex.opts.Aggregators, ex.opts.Layout)
 	ex.aggIdx = ex.p.aggIndexOf(r.ID())
 	if ex.aggIdx >= 0 && ex.dataMode {
 		for s := 0; s < ex.slots; s++ {

@@ -1,0 +1,97 @@
+package fcoll
+
+import (
+	"testing"
+
+	"collio/internal/datatype"
+)
+
+// contigView builds an IOR-shaped JobView: rank r writes one contiguous
+// block of sizes[r] bytes at the running offset.
+func contigView(t *testing.T, sizes []int64) *JobView {
+	t.Helper()
+	ranks := make([]RankView, len(sizes))
+	var off int64
+	for r, sz := range sizes {
+		ranks[r] = RankView{Extents: []datatype.Extent{{Off: off, Len: sz}}}
+		off += sz
+	}
+	jv, err := NewJobView(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jv
+}
+
+// TestDetectCohortsSymmetric: a uniform contiguous workload collapses,
+// and the cohort structure respects node slots — every member of one
+// cohort occupies the same slot within its node, aggregators are
+// outside any cohort, and the bookkeeping (sizes, leaders) is
+// consistent.
+func TestDetectCohortsSymmetric(t *testing.T) {
+	const np, rpn = 64, 8
+	sizes := make([]int64, np)
+	for r := range sizes {
+		sizes[r] = 1 << 20
+	}
+	sched, err := BuildSchedule(contigView(t, sizes), np, rpn,
+		Options{Algorithm: WriteComm2Overlap, BufferSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := DetectCohorts(sched)
+	if !ch.Collapses() {
+		t.Fatalf("uniform workload did not collapse: %d cohorts over %d non-aggregators",
+			ch.Count(), np-len(sched.AggRanks()))
+	}
+	isAgg := make(map[int]bool)
+	for _, a := range sched.AggRanks() {
+		isAgg[a] = true
+	}
+	var members int32
+	for r := 0; r < np; r++ {
+		id := ch.Of[r]
+		if isAgg[r] {
+			if id != -1 {
+				t.Fatalf("aggregator %d assigned to cohort %d", r, id)
+			}
+			continue
+		}
+		if id < 0 || int(id) >= ch.Count() {
+			t.Fatalf("rank %d has out-of-range cohort %d", r, id)
+		}
+		if lead := int(ch.Leader[id]); lead > r {
+			t.Fatalf("cohort %d leader %d above member %d", id, lead, r)
+		} else if r%rpn != lead%rpn {
+			t.Fatalf("rank %d (slot %d) grouped with leader %d (slot %d)",
+				r, r%rpn, lead, lead%rpn)
+		}
+		members++
+	}
+	var sum int32
+	for _, s := range ch.Size {
+		sum += s
+	}
+	if sum != members {
+		t.Fatalf("cohort sizes sum to %d, want %d", sum, members)
+	}
+}
+
+// TestDetectCohortsAsymmetric: rank-dependent volumes break the
+// symmetry — every non-aggregator's traffic differs, so cohorts
+// degenerate to singletons and Collapses reports false.
+func TestDetectCohortsAsymmetric(t *testing.T) {
+	const np, rpn = 64, 8
+	sizes := make([]int64, np)
+	for r := range sizes {
+		sizes[r] = int64(r+1) << 12
+	}
+	sched, err := BuildSchedule(contigView(t, sizes), np, rpn,
+		Options{Algorithm: WriteComm2Overlap, BufferSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch := DetectCohorts(sched); ch.Collapses() {
+		t.Fatalf("rank-dependent workload collapsed into %d cohorts", ch.Count())
+	}
+}

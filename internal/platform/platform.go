@@ -81,6 +81,12 @@ type Platform struct {
 	// hardware transfers, required for partitioned execution), 0 keeps
 	// the mpi.DefaultConfig value (1 MiB).
 	RendezvousChunk int64
+
+	// NetModel selects the simnet transfer model: ModelChunked (zero
+	// value, the exact reference) or ModelFlow (fluid max-min fair
+	// sharing for bulk transfers). ModelFlow requires a noise-free
+	// network and sequential execution; see simnet.NetModel.
+	NetModel simnet.NetModel
 }
 
 // Crill models the University of Houston crill partition: 16 quad-CPU
@@ -208,6 +214,9 @@ func (pf Platform) Instantiate(nprocs int, seed int64) (*Cluster, error) {
 		return nil, fmt.Errorf("platform: %s supports at most %d processes (%d nodes × %d), got %d",
 			pf.Name, pf.MaxProcs(), pf.Nodes, pf.RanksPerNode, nprocs)
 	}
+	if pf.NetModel == simnet.ModelFlow && pf.NetNoiseSigma != 0 {
+		return nil, fmt.Errorf("platform: %s: flow network model requires NetNoiseSigma = 0 (use Deterministic())", pf.Name)
+	}
 	k := sim.NewKernel(seed)
 	// Run-level interference: one bandwidth regime per instantiation,
 	// drawn from the seeded RNG so series stay reproducible.
@@ -232,6 +241,7 @@ func (pf Platform) Instantiate(nprocs int, seed int64) (*Cluster, error) {
 		IntraLatency:   pf.IntraLatency,
 		MemBandwidth:   pf.MemBandwidth,
 		LinkNoise:      lognormal(pf.NetNoiseSigma),
+		NetModel:       pf.NetModel,
 	})
 	cfg := pf.mpiConfig(nprocs)
 	w, err := mpi.NewWorld(k, net, cfg)
@@ -310,6 +320,9 @@ func (pf Platform) InstantiateParallel(nprocs int, seed int64) (*Cluster, error)
 	if pf.RendezvousChunk >= 0 {
 		return nil, fmt.Errorf("platform: %s: partitioned execution requires RendezvousChunk < 0 (use Deterministic())", pf.Name)
 	}
+	if pf.NetModel != simnet.ModelChunked {
+		return nil, fmt.Errorf("platform: %s: partitioned execution requires the chunked network model (flow mode recomputes global rates at every arrival, zero lookahead)", pf.Name)
+	}
 	nodes := (nprocs + pf.RanksPerNode - 1) / pf.RanksPerNode
 	if pf.NodeLocalStorage && nodes < pf.Nodes {
 		nodes = pf.Nodes
@@ -348,4 +361,73 @@ func (pf Platform) InstantiateParallel(nprocs int, seed int64) (*Cluster, error)
 		return nil, err
 	}
 	return &Cluster{Platform: pf, Kernel: part.Kernel(0), Net: net, World: w, FS: fs, Part: part}, nil
+}
+
+// ScaledTo returns a copy of the platform grown to hold nprocs ranks:
+// if the rank count needs more compute nodes than the calibrated
+// machine has, Nodes is raised to the required count and the storage
+// target count scales proportionally (a bigger cluster comes with a
+// proportionally bigger file system, keeping per-rank storage
+// bandwidth constant). Platforms already large enough are unchanged,
+// so paper-scale runs keep the calibrated machine exactly.
+func (pf Platform) ScaledTo(nprocs int) Platform {
+	need := (nprocs + pf.RanksPerNode - 1) / pf.RanksPerNode
+	if need <= pf.Nodes {
+		return pf
+	}
+	pf.StorageTargets = pf.StorageTargets * need / pf.Nodes
+	pf.Nodes = need
+	return pf
+}
+
+// InstantiateBundled builds the simulation substrate for the bundled
+// cohort executor: kernel, network and file system, but no mpi.World —
+// bundled execution replays rank behaviour from the collective plan
+// instead of running per-rank coroutines, so the returned Cluster has
+// World == nil. There is no MaxProcs cap (callers scale the platform
+// with ScaledTo first) and the platform must be noise-free: the
+// bundled path models collective ladders in closed form, which is only
+// exact relative to a deterministic machine.
+func (pf Platform) InstantiateBundled(nprocs int, seed int64) (*Cluster, error) {
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("platform: nprocs must be positive, got %d", nprocs)
+	}
+	if nprocs > pf.MaxProcs() {
+		return nil, fmt.Errorf("platform: %s supports at most %d processes (%d nodes × %d), got %d (ScaledTo first)",
+			pf.Name, pf.MaxProcs(), pf.Nodes, pf.RanksPerNode, nprocs)
+	}
+	if pf.NetNoiseSigma != 0 || pf.StorageNoiseSigma != 0 || pf.RunNoiseNet != 0 || pf.RunNoiseStorage != 0 {
+		return nil, fmt.Errorf("platform: %s: bundled execution requires a noise-free model (use Deterministic())", pf.Name)
+	}
+	k := sim.NewKernel(seed)
+	nodes := (nprocs + pf.RanksPerNode - 1) / pf.RanksPerNode
+	if pf.NodeLocalStorage && nodes < pf.Nodes {
+		nodes = pf.Nodes
+	}
+	net := simnet.New(k, simnet.Config{
+		Nodes:          nodes,
+		InterBandwidth: pf.InterBandwidth,
+		InterLatency:   pf.InterLatency,
+		IntraBandwidth: pf.IntraBandwidth,
+		IntraLatency:   pf.IntraLatency,
+		MemBandwidth:   pf.MemBandwidth,
+		NetModel:       pf.NetModel,
+	})
+	fscfg := simfs.Config{
+		StripeSize:      pf.StripeSize,
+		NumTargets:      pf.StorageTargets,
+		TargetBandwidth: pf.TargetBandwidth,
+		TargetPerOp:     pf.TargetPerOp,
+		NetLatency:      pf.StorageLatency,
+		ClientPerOp:     20 * sim.Microsecond,
+	}
+	if pf.NodeLocalStorage {
+		n := nodes
+		fscfg.TargetNode = func(t int) int { return t % n }
+	}
+	fs, err := simfs.New(k, net, fscfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Platform: pf, Kernel: k, Net: net, FS: fs}, nil
 }

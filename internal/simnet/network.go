@@ -38,6 +38,14 @@ type Config struct {
 	// and returns a multiplicative service-time factor (1.0 = calm).
 	// Used to model shared, non-dedicated fabrics.
 	LinkNoise func(rng func() float64) float64
+	// NetModel selects the transfer model: ModelChunked (the exact
+	// per-request reference, default) or ModelFlow (fluid max-min
+	// fair-share approximation for bulk transfers; see flow.go).
+	NetModel NetModel
+	// FlowMinBytes is the smallest inter-node transfer routed through
+	// the fluid model under ModelFlow; smaller messages keep the exact
+	// path. 0 means 64 KiB.
+	FlowMinBytes int64
 }
 
 // Node is one compute node's network endpoints. k is the kernel the
@@ -90,6 +98,10 @@ type Network struct {
 	// Handles return via Release; callers that never release (tests,
 	// one-shot tools) simply leave their handles to the GC.
 	freeTransfers *Transfer
+
+	// fluid is the max-min fair solver bulk transfers ride under
+	// ModelFlow (nil under ModelChunked).
+	fluid *fluidNet
 }
 
 // New builds a network on kernel k from cfg.
@@ -98,6 +110,12 @@ func New(k *sim.Kernel, cfg Config) *Network {
 		panic("simnet: Config.Nodes must be positive")
 	}
 	n := &Network{k: k, cfg: cfg}
+	if cfg.NetModel == ModelFlow {
+		if cfg.LinkNoise != nil {
+			panic("simnet: ModelFlow computes deterministic fluid rates; LinkNoise requires ModelChunked")
+		}
+		n.fluid = newFluidNet(k, cfg)
+	}
 	noise := func() float64 { return 1 }
 	if cfg.LinkNoise != nil {
 		rng := k.Rand()
@@ -128,6 +146,9 @@ func NewPartitioned(part *sim.Partition, cfg Config) *Network {
 	}
 	if cfg.LinkNoise != nil {
 		panic("simnet: LinkNoise is a zero-lookahead coupling; partitioned execution requires a noise-free config")
+	}
+	if cfg.NetModel == ModelFlow {
+		panic("simnet: ModelFlow recomputes global rates at every arrival (zero lookahead); partitioned execution requires ModelChunked")
 	}
 	if part.NKernels() < cfg.Nodes {
 		panic("simnet: partition has fewer LPs than nodes")
@@ -296,6 +317,9 @@ func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer
 	if n.part != nil {
 		return n.sendFlowPartitioned(flow, from, to, size)
 	}
+	if n.fluid != nil && from != to && size >= n.fluid.minBytes {
+		return n.sendFluid(from, to, size, nil)
+	}
 	n.messages++
 	tr := n.newTransfer(size, from, to)
 	if from == to {
@@ -322,6 +346,52 @@ func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer
 	tr.Delivered = n.k.Join(tr.Injected, rxDone)
 	n.observeDeliver(n.probe, n.k, tr)
 	return tr
+}
+
+// sendFluid routes one bulk inter-node transfer through the fluid
+// model: Injected completes when the flow's last byte has been
+// transmitted under max-min fair sharing, Delivered one wire latency
+// later. The flow key is irrelevant here — fair sharing is per-flow by
+// construction — and probe emissions reuse the exact path's hooks (the
+// queue-depth sample reads the idle tx server and reports 0).
+func (n *Network) sendFluid(from, to int, size int64, marks []flowMark) *Transfer {
+	n.messages++
+	n.interBytes += size
+	tr := n.newTransfer(size, from, to)
+	n.observeSend(n.probe, tr, probe.CauseInter, n.nodes[from].tx)
+	tr.Injected = n.k.NewFuture()
+	tr.Delivered = n.k.NewFuture()
+	n.fluid.submit(from, to, size, tr.Injected, tr.Delivered, marks)
+	n.observeDeliver(n.probe, n.k, tr)
+	return tr
+}
+
+// SendFlowMilestones is SendFlow through the fluid model with progress
+// milestones: future i completes one wire latency after the flow's
+// cumulative transmitted bytes cross offsets[i] (ascending, each in
+// (0, size]). The bundled cohort executor uses it to replay per-member
+// completion instants out of one aggregate transfer. Requires ModelFlow
+// and an inter-node pair; unlike SendFlow there is no FlowMinBytes
+// cutoff — the caller asked for fluid semantics explicitly.
+func (n *Network) SendFlowMilestones(from, to int, size int64, offsets []int64) (*Transfer, []*sim.Future) {
+	if n.fluid == nil || n.part != nil {
+		panic("simnet: SendFlowMilestones requires ModelFlow on a sequential network")
+	}
+	if from == to {
+		panic("simnet: SendFlowMilestones requires an inter-node transfer")
+	}
+	futs := make([]*sim.Future, len(offsets))
+	marks := make([]flowMark, len(offsets))
+	prev := int64(0)
+	for i, off := range offsets {
+		if off <= 0 || off > size || off < prev {
+			panic("simnet: SendFlowMilestones offsets must ascend within (0, size]")
+		}
+		prev = off
+		futs[i] = n.k.NewFuture()
+		marks[i] = flowMark{bytes: float64(off), fut: futs[i]}
+	}
+	return n.sendFluid(from, to, size, marks), futs
 }
 
 // sendFlowPartitioned is the SendFlow path under partitioned
