@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet collvet test race race-parallel bench bench-diff metrics-smoke scale-smoke
+.PHONY: check build vet collvet test race race-parallel bench bench-diff metrics-smoke scale-smoke select-smoke
 
-check: build vet collvet race-parallel race
+check: build vet collvet race-parallel select-smoke race
 
 build:
 	$(GO) build ./...
@@ -50,8 +50,8 @@ race-parallel:
 # equivalence tests — under the race detector. Perf numbers come from
 # bench, concurrency-correctness evidence from race.
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR8.json
-BENCHBASE ?= BENCH_PR7.json
+BENCHOUT ?= BENCH_PR9.json
+BENCHBASE ?= BENCH_PR8.json
 BENCHDIFF = $(if $(wildcard $(BENCHBASE)),-diff $(BENCHBASE),)
 
 bench:
@@ -73,8 +73,8 @@ BENCHFAIL ?= 30
 # covers the short benchmarks the ns/op gate must exclude: PR 4's 32%
 # alloc win cannot silently erode anywhere.
 BENCHALLOCFAIL ?= 5
-BENCHGATE ?= ScaleSweep|ParallelRun|CohortScale
-BENCHALLOCGATE ?= RunSeries|TableISweep|ScaleSweep|ParallelRun|CohortScale
+BENCHGATE ?= ScaleSweep|ParallelRun|CohortScale|SelectColdVsWarm
+BENCHALLOCGATE ?= RunSeries|TableISweep|ScaleSweep|ParallelRun|CohortScale|SelectColdVsWarm
 
 bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff $(BENCHBASE) -fail-above $(BENCHFAIL) -fail-allocs-above $(BENCHALLOCFAIL) -gate '$(BENCHGATE)' -allocs-gate '$(BENCHALLOCGATE)' > /dev/null
@@ -87,6 +87,14 @@ bench-diff:
 # nothing about this host.
 scale-smoke:
 	$(GO) test -count=1 -run 'TestScaleSmoke65k' -v ./internal/exp/
+
+# `make select-smoke` is the acceptance check for the auto-tuner's
+# memo cache: one cold design-space sweep, then a warm re-query that
+# must hit the cache on every grid point, answer bit-identically, and
+# come back at least 100x faster than the cold sweep. Part of `make
+# check` (it runs in ~2 s); -count=1 defeats the test cache.
+select-smoke:
+	$(GO) test -count=1 -run 'TestSelectSmoke' -v ./internal/tune/
 
 # `make metrics-smoke` exercises the telemetry surface end to end: one
 # small iorbench run with -metrics and -metrics-out, then the .prom

@@ -1,13 +1,15 @@
-// Command collvet runs the collio static-analysis suite: ten
+// Command collvet runs the collio static-analysis suite: eleven
 // simulator-invariant analyzers that catch, at compile time, the
 // protocol bugs that would silently corrupt the reproduction's overlap
 // measurements — six per-node syntactic matchers (leaked requests,
 // wall-clock time in the deterministic kernel, unpaired RMA epochs,
 // blocking calls in kernel callbacks, payload aliasing, kernel-owned
-// state shared across goroutines) and four flow-sensitive analyzers
+// state shared across goroutines), four flow-sensitive analyzers
 // over the shared CFG/dataflow core (map-iteration-ordered emission,
 // pooled-handle lifetimes, sim.Time unit confusion, lookahead
-// violations).
+// violations), and a type-shape check (memosafe) that keeps
+// //collvet:memoized cache-result types free of live simulator
+// handles and other non-plain data.
 //
 // Usage:
 //

@@ -11,6 +11,14 @@
 //	all       — everything above
 //	probe     — one instrumented Tile I/O 1M run (see -probe/-trace-json/-report)
 //	scale     — multi-thousand-rank IOR sweep on ibex (see -ranks; not in "all")
+//	select    — E12: auto-tuner vs fixed-algorithm policies (see -cache-file; not in "all")
+//
+// -serve starts a long-lived auto-tuner query service on stdin instead
+// of running an experiment: `select <platform> <workload> <np>` answers
+// from the digest-keyed memo cache (cold queries sweep the design
+// space, warm ones are O(lookup)), `stats` prints cache counters,
+// `quit` — or SIGINT, which drains the in-flight sweep — flushes the
+// -cache-file store and exits.
 //
 // Use -full for the extended sweep (larger process counts; slow) and
 // -np to override Fig. 1 / breakdown process counts. The scale sweep
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +50,7 @@ import (
 	"collio/internal/probe/export"
 	"collio/internal/simnet"
 	"collio/internal/stats"
+	"collio/internal/tune"
 	"collio/internal/workload/tileio"
 )
 
@@ -62,6 +72,8 @@ func main() {
 		metricsF  = flag.Bool("metrics", false, "attach time-series telemetry to the instrumented run and print a per-series summary")
 		metricsO  = flag.String("metrics-out", "", "write the instrumented run's telemetry to `base`.prom, base.csv and base.html")
 		progressF = flag.Bool("progress", false, "print a live runs-completed/ETA heartbeat to stderr")
+		serveF    = flag.Bool("serve", false, "run the long-lived auto-tuner query service on stdin (select/stats/quit; SIGINT drains and flushes)")
+		cacheFile = flag.String("cache-file", "", "persist the auto-tuner memo cache as a JSON-lines store at `file` (select experiment and -serve)")
 	)
 	var prof cli.Profiler
 	prof.RegisterFlags()
@@ -89,6 +101,32 @@ func main() {
 			pr.Stop()
 			exp.SetProgress(nil)
 		}()
+	}
+
+	// The tuner's grid and execution strategy, shared by -exp select and
+	// -serve: -full widens the sweep to the one-sided primitives, -j /
+	// -jrun / -bundle apply exactly as they do to the scale sweep.
+	tuneOpts := tune.Options{
+		Parallel:  *jobs,
+		JRun:      *jrun,
+		Bundle:    *bundleF,
+		CachePath: *cacheFile,
+	}
+	if *full {
+		tuneOpts.Space = tune.FullSpace()
+	}
+
+	if *serveF {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		defer signal.Stop(sig)
+		if err := runServe(os.Stdin, os.Stdout, sig, tuneOpts); err != nil {
+			fatalf("serve: %v", err)
+		}
+		if err := prof.Stop(); err != nil {
+			fatalf("profiling: %v", err)
+		}
+		return
 	}
 
 	obs := *probeF || *traceJSON != "" || *report || *metricsF || *metricsO != ""
@@ -124,15 +162,23 @@ func main() {
 		}
 	}
 
-	// The scale sweep is opt-in only: minutes of wall-clock that "all"
-	// (the laptop-scale paper reproduction) should not pull in.
+	// The scale sweep and the tuner experiment are opt-in only: minutes
+	// of wall-clock that "all" (the laptop-scale paper reproduction)
+	// should not pull in.
 	want := func(name string) bool {
-		if name == "scale" {
-			return *which == "scale"
+		if name == "scale" || name == "select" {
+			return *which == name
 		}
 		return *which == "all" || *which == name
 	}
 	ran := false
+
+	if want("select") {
+		ran = true
+		if err := runSelectExperiment(os.Stdout, fig1NP, tuneOpts); err != nil {
+			fatalf("select: %v", err)
+		}
+	}
 
 	if want("scale") {
 		ran = true
@@ -311,7 +357,7 @@ func main() {
 
 // validExperiments is the closed set of -exp names, in help order.
 var validExperiments = []string{
-	"table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "probe", "scale", "all",
+	"table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "probe", "scale", "select", "all",
 }
 
 // validateExp rejects unknown -exp names with the full list of valid

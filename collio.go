@@ -47,6 +47,7 @@ import (
 	"collio/internal/platform"
 	"collio/internal/sim"
 	"collio/internal/simfs"
+	"collio/internal/tune"
 	"collio/internal/workload"
 	"collio/internal/workload/flashio"
 	"collio/internal/workload/ior"
@@ -209,3 +210,49 @@ type (
 // Run executes one benchmark run on a simulated platform and returns
 // its metrics.
 func Run(spec Spec) (Metrics, error) { return exp.Execute(spec) }
+
+// Auto-tuner types. Config is the canonical identity of one run (the
+// digest-keyed cache key); Metrics above is the memoized value.
+type (
+	// Config is the canonical identity of one simulation run: every
+	// result-determining field and nothing else. Its SHA-256 Digest
+	// keys the tuner's memo cache.
+	Config = exp.Config
+	// Digest is the SHA-256 content digest of a Config's canonical
+	// encoding — stable across processes and hosts.
+	Digest = exp.Digest
+	// TuneSpace is the design-space grid Select sweeps (algorithm ×
+	// primitive × collective-buffer size × aggregator count).
+	TuneSpace = tune.Space
+	// TuneOptions shape a Select sweep: grid, parallelism, executor
+	// strategy and on-disk cache path.
+	TuneOptions = tune.Options
+	// Tuner answers repeated Select queries against one shared memo
+	// cache.
+	Tuner = tune.Tuner
+	// Selection is the answer to one Select query: the predicted-best
+	// candidate plus every evaluated grid point.
+	Selection = tune.Selection
+	// Candidate is one evaluated grid point of a Selection.
+	Candidate = tune.Candidate
+)
+
+// NewTuner builds a Tuner, opening (or creating) the on-disk memo
+// cache when opts.CachePath is set.
+func NewTuner(opts TuneOptions) (*Tuner, error) { return tune.New(opts) }
+
+// Select auto-tunes the collective write for one workload, platform
+// and rank count: it sweeps opts.Space (DefaultSpace when zero)
+// through the simulator, memoizes every point by Config digest, and
+// returns the predicted-best configuration with its predicted Metrics.
+// A repeated query — same question, warm cache — answers in O(lookup)
+// without simulating; for a long-lived cache across queries (or the
+// on-disk store), build a Tuner once and reuse it.
+func Select(gen Generator, pf Platform, nprocs int, opts TuneOptions) (Selection, error) {
+	t, err := tune.New(opts)
+	if err != nil {
+		return Selection{}, err
+	}
+	defer t.Close()
+	return t.Select(gen, pf, nprocs)
+}

@@ -46,6 +46,10 @@
 //	lookahead            no ScheduleRemote with a statically-known delta
 //	                     below the partition lookahead, and no cross-LP
 //	                     kernel access from inside a remote callback
+//	memosafe             a type marked //collvet:memoized (a cached,
+//	                     process-outliving, shared-by-all-warm-callers
+//	                     result) is transitively plain data: no live
+//	                     simulator handles, pointers, funcs or channels
 //
 // A human can overrule one finding with an audited waiver —
 // `//collvet:ignore <analyzer> -- <reason>` on the diagnostic's line or
@@ -101,8 +105,9 @@ type Analyzer struct {
 }
 
 // All returns the full collvet suite in stable order. The first six
-// are per-node syntactic matchers; the last four are flow-sensitive
-// analyzers over the CFG/dataflow core (cfg.go, dataflow.go).
+// are per-node syntactic matchers; the next four are flow-sensitive
+// analyzers over the CFG/dataflow core (cfg.go, dataflow.go); memosafe
+// is a type-shape check over marked declarations.
 func All() []*Analyzer {
 	return []*Analyzer{
 		RequestLeak,
@@ -115,6 +120,7 @@ func All() []*Analyzer {
 		PoolPath,
 		SimTime,
 		Lookahead,
+		MemoSafe,
 	}
 }
 

@@ -207,6 +207,10 @@ func TestLookaheadFixtures(t *testing.T) {
 	runFixtureTest(t, Lookahead, "lookahead")
 }
 
+func TestMemoSafeFixtures(t *testing.T) {
+	runFixtureTest(t, MemoSafe, "memosafe")
+}
+
 // TestPoolPathSubsumesPayloadAliasRetention pins the acceptance
 // criterion that poolpath generalizes the straight-line pool-retention
 // rule: every pooled-handle diagnostic payloadalias produces on its own

@@ -1,0 +1,124 @@
+// Fixture for the memosafe analyzer: types marked //collvet:memoized
+// must be transitively plain data — no live simulator handles, no
+// pointers, slices, maps, funcs, channels or interfaces anywhere in
+// their reachable shape. Unmarked types may hold anything.
+package memosafe
+
+import (
+	"mpi"
+	"sim"
+	"simnet"
+)
+
+// GoodResult is the shape the contract wants: basic fields, named
+// scalar wrappers, nested plain structs and arrays of them.
+//
+//collvet:memoized
+type GoodResult struct {
+	Elapsed     sim.Time
+	Breakdown   phaseSplit
+	Cycles      int
+	Flags       [4]bool
+	Label       byte
+	Utilization float64
+}
+
+// phaseSplit is plain data reached transitively from GoodResult.
+type phaseSplit struct {
+	Shuffle sim.Time
+	Write   sim.Time
+}
+
+// KernelResult retains the DES kernel itself. // want is on the type
+// name line because memosafe anchors every finding to the marked
+// declaration.
+//
+//collvet:memoized
+type KernelResult struct { // want `memoized type KernelResult holds a live simulator handle \(\*sim\.Kernel\) at KernelResult\.K`
+	K *sim.Kernel
+	N int
+}
+
+//collvet:memoized
+type ProcResult struct { // want `memoized type ProcResult holds a live simulator handle \(\*sim\.Proc\) at ProcResult\.P`
+	P *sim.Proc
+}
+
+//collvet:memoized
+type RequestResult struct { // want `memoized type RequestResult holds a live simulator handle \(\*mpi\.Request\) at RequestResult\.Pending`
+	Pending *mpi.Request
+}
+
+//collvet:memoized
+type TransferResult struct { // want `memoized type TransferResult holds a live simulator handle \(\*simnet\.Transfer\) at TransferResult\.Wire`
+	Wire *simnet.Transfer
+}
+
+// nested handles are found through intermediate plain structs.
+type inner struct {
+	K *sim.Kernel
+}
+
+//collvet:memoized
+type DeepResult struct { // want `memoized type DeepResult holds a live simulator handle \(\*sim\.Kernel\) at DeepResult\.In\.K`
+	In inner
+}
+
+// Reference and behavior types: each is aliasing or unserializable.
+//
+//collvet:memoized
+type PointerResult struct { // want `memoized type PointerResult holds a pointer at PointerResult\.N`
+	N *int
+}
+
+//collvet:memoized
+type SliceResult struct { // want `memoized type SliceResult holds a slice at SliceResult\.Samples`
+	Samples []int64
+}
+
+//collvet:memoized
+type MapResult struct { // want `memoized type MapResult holds a map at MapResult\.ByRank`
+	ByRank map[int]int64
+}
+
+//collvet:memoized
+type FuncResult struct { // want `memoized type FuncResult holds a func value at FuncResult\.OnHit`
+	OnHit func()
+}
+
+//collvet:memoized
+type ChanResult struct { // want `memoized type ChanResult holds a channel at ChanResult\.Done`
+	Done chan struct{}
+}
+
+//collvet:memoized
+type IfaceResult struct { // want `memoized type IfaceResult holds an interface at IfaceResult\.Err`
+	Err error
+}
+
+// UnmarkedLive holds handles but carries no marker: out of scope.
+type UnmarkedLive struct {
+	K    *sim.Kernel
+	Reqs []*mpi.Request
+	Done chan struct{}
+}
+
+// Markers inside a grouped type block attach to the individual spec.
+type (
+	// PlainInBlock is fine.
+	//
+	//collvet:memoized
+	PlainInBlock struct {
+		A, B int64
+	}
+
+	//collvet:memoized
+	BadInBlock struct { // want `memoized type BadInBlock holds a pointer at BadInBlock\.P`
+		P *phaseSplit
+	}
+
+	// UnmarkedInBlock shares the block but not the contract.
+	UnmarkedInBlock struct {
+		C chan int
+	}
+)

@@ -12,6 +12,7 @@ import (
 	"collio/internal/simfs"
 	"collio/internal/simnet"
 	"collio/internal/trace"
+	"collio/internal/workload"
 )
 
 // This file is the bundled cohort executor: the 100k–1M-rank fast path.
@@ -179,6 +180,30 @@ func bundleEligible(spec Spec) bool {
 		pf.RunNoiseNet == 0 && pf.RunNoiseStorage == 0
 }
 
+// Collapsible reports whether gen's views at nprocs collapse into
+// rank-symmetric cohorts — i.e. whether a -bundle run would actually
+// take the bundled fast path rather than silently falling back to the
+// exact executor. It is a static probe: it builds the views and the
+// two-phase plans and runs cohort detection, but simulates nothing, so
+// it costs milliseconds where the exact run it predicts can cost
+// hours. Callers (e.g. evalsuite's E12 driver) use it to refuse
+// exact-path sweeps at rank counts where they are impractical.
+func Collapsible(gen workload.Generator, pf platform.Platform, nprocs int) bool {
+	pf = pf.ScaledTo(nprocs)
+	views, err := gen.Views(nprocs, false, workloadSeed)
+	if err != nil {
+		return false
+	}
+	opts := fcoll.Options{Primitive: fcoll.TwoSided, BufferSize: 32 << 20}
+	for _, jv := range views {
+		s, err := fcoll.BuildSchedule(jv, nprocs, pf.RanksPerNode, opts)
+		if err != nil || !fcoll.DetectCohorts(s).Collapses() {
+			return false
+		}
+	}
+	return true
+}
+
 // executeBundled attempts the bundled cohort fast path. ok=false means
 // the spec is not bundleable (asymmetric workload or ineligible
 // configuration) and the caller must take the exact path; this is a
@@ -199,9 +224,10 @@ func executeBundled(spec Spec) (Metrics, bool, error) {
 		return Metrics{}, false, err
 	}
 	opts := fcoll.Options{
-		Algorithm:  spec.Algorithm,
-		Primitive:  spec.Primitive,
-		BufferSize: bufSize,
+		Algorithm:   spec.Algorithm,
+		Primitive:   spec.Primitive,
+		BufferSize:  bufSize,
+		Aggregators: spec.Aggregators,
 	}
 	scheds := make([]*fcoll.Schedule, len(views))
 	for i, jv := range views {

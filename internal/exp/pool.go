@@ -49,11 +49,17 @@ var liveProgress atomic.Pointer[metrics.Progress]
 // heartbeat that forEach and the sweep drivers tick.
 func SetProgress(p *metrics.Progress) { liveProgress.Store(p) }
 
-// forEach runs job(0..n-1) across at most parallel workers and blocks
-// until all jobs have returned. Workers claim indices from a shared
-// atomic counter, so scheduling adapts to uneven job lengths; with
-// parallel <= 1 the jobs run inline in index order. job must confine
-// its writes to state owned by its index.
+// ForEach runs job(0..n-1) across at most parallel workers and blocks
+// until all jobs have returned — the pool every sweep in this package
+// fans over, exported for the tuner (internal/tune) so its design-space
+// sweeps ride the same -j machinery, tick the same -progress heartbeat,
+// and obey the same one-kernel-per-worker discipline. Workers claim
+// indices from a shared atomic counter, so scheduling adapts to uneven
+// job lengths; with parallel <= 1 the jobs run inline in index order.
+// job must confine its writes to state owned by its index.
+func ForEach(parallel, n int, job func(i int)) { forEach(parallel, n, job) }
+
+// forEach is ForEach (the internal spelling predates the export).
 func forEach(parallel, n int, job func(i int)) {
 	pr := liveProgress.Load()
 	pr.AddTotal(n)

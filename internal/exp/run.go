@@ -28,6 +28,11 @@ type Spec struct {
 	Algorithm  fcoll.Algorithm
 	Primitive  fcoll.Primitive
 	BufferSize int64 // 0 = 32 MiB (the ompio default)
+	// Aggregators fixes the aggregator count of every collective; 0
+	// keeps the automatic one-per-node selection. Part of the run's
+	// identity (Config digests it) — the tuner sweeps it as a design
+	// axis.
+	Aggregators int
 	// Seed drives platform noise; the workload's layout uses a fixed
 	// internal seed so every algorithm sees the identical job.
 	Seed int64
@@ -96,24 +101,6 @@ func Partitionable(spec Spec) bool {
 		pf.RunNoiseNet == 0 && pf.RunNoiseStorage == 0 &&
 		pf.RendezvousChunk < 0 &&
 		pf.NetModel == simnet.ModelChunked
-}
-
-// Metrics is the outcome of one run.
-type Metrics struct {
-	// Elapsed is the wall time of the whole benchmark (all collectives,
-	// slowest rank).
-	Elapsed sim.Time
-	// ShuffleTime / WriteTime are the maxima over aggregator ranks of
-	// time spent in the shuffle vs file-access phases (the §IV-A
-	// breakdown).
-	ShuffleTime sim.Time
-	WriteTime   sim.Time
-	// BytesWritten is the total file volume.
-	BytesWritten int64
-	// Cycles is the per-collective internal cycle count (first view).
-	Cycles int
-	// Aggregators is the number of ranks that performed file I/O.
-	Aggregators int
 }
 
 // workloadSeed fixes the job layout across a series so that only
@@ -208,9 +195,10 @@ func Execute(spec Spec) (Metrics, error) {
 		}
 	}
 	opts := fcoll.Options{
-		Algorithm:  spec.Algorithm,
-		Primitive:  spec.Primitive,
-		BufferSize: bufSize,
+		Algorithm:   spec.Algorithm,
+		Primitive:   spec.Primitive,
+		BufferSize:  bufSize,
+		Aggregators: spec.Aggregators,
 	}
 	if parallel {
 		opts.TraceShards = traceShards

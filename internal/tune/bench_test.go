@@ -1,0 +1,59 @@
+package tune
+
+import (
+	"testing"
+
+	"collio/internal/platform"
+	"collio/internal/workload/tileio"
+)
+
+// BenchmarkSelectColdVsWarm measures the tuner's reason to exist: the
+// gap between answering a Select query by sweeping the design space
+// (cold — every iteration on a fresh cache) and answering it from the
+// digest-keyed memo (warm — O(lookup) per grid point, zero
+// simulations). Recorded in BENCH_PR9.json; both bench-diff gates
+// (ns/op and allocs/op) watch the warm path, which is the serving
+// fast path -serve relies on.
+func BenchmarkSelectColdVsWarm(b *testing.B) {
+	gen, pf, np := tileio.Tile1M(), platform.Crill(), 16
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tn := NewWithCache(Options{Parallel: 1}, NewCache(nil, nil))
+			if _, err := tn.Select(gen, pf, np); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// One op = warmBatch warm queries. A single warm Select is tens of
+	// microseconds, where one scheduler hiccup doubles the reading at
+	// -benchtime 1x; batching amortizes the noise so the bench-diff
+	// gates (which watch this benchmark) compare stable numbers.
+	// Per-query cost is ns/op divided by warmBatch.
+	const warmBatch = 1000
+	b.Run("warm", func(b *testing.B) {
+		tn := NewWithCache(Options{Parallel: 1}, NewCache(nil, nil))
+		// Populate the cache, then run one untimed batch so allocator
+		// and scheduler warm-up stays out of the first timed op.
+		for q := 0; q < warmBatch/10; q++ {
+			if _, err := tn.Select(gen, pf, np); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < warmBatch; q++ {
+				sel, err := tn.Select(gen, pf, np)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sel.Hits != sel.Evaluated {
+					b.Fatal("warm query simulated")
+				}
+			}
+		}
+	})
+}

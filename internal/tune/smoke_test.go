@@ -1,0 +1,60 @@
+package tune
+
+import (
+	"testing"
+	"time"
+
+	"collio/internal/platform"
+	"collio/internal/workload/tileio"
+)
+
+// TestSelectSmoke is the `make select-smoke` gate: one cold sweep, one
+// warm re-query, asserting the cache contract (warm hits everything,
+// answers identically) and the performance floor the tuner exists for —
+// a warm Select at least 100× faster than the cold sweep it memoized
+// (the PR's acceptance floor; in practice the gap is >1000×, measured
+// precisely by BenchmarkSelectColdVsWarm).
+func TestSelectSmoke(t *testing.T) {
+	gen, pf, np := tileio.Tile1M(), platform.Crill(), 32
+	tn := NewWithCache(Options{Parallel: 1}, NewCache(nil, nil))
+
+	t0 := time.Now()
+	cold, err := tn.Select(gen, pf, np)
+	coldDur := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Hits != 0 || cold.Evaluated != DefaultSpace().Size() {
+		t.Fatalf("cold Select: %d/%d hits over a %d-point space", cold.Hits, cold.Evaluated, DefaultSpace().Size())
+	}
+
+	// Warm duration: best of several queries, so one scheduler hiccup
+	// on a loaded host cannot flake the floor.
+	var warm Selection
+	warmDur := time.Hour
+	for i := 0; i < 5; i++ {
+		t1 := time.Now()
+		warm, err = tn.Select(gen, pf, np)
+		if d := time.Since(t1); d < warmDur {
+			warmDur = d
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if warm.Hits != warm.Evaluated {
+		t.Fatalf("warm Select simulated: %d/%d hits", warm.Hits, warm.Evaluated)
+	}
+	if !selectionsEqual(warm, cold) {
+		t.Fatal("warm Select returned different results than the cold sweep")
+	}
+	if sims := tn.Cache().Stats().Simulations; sims != int64(cold.Evaluated) {
+		t.Fatalf("cache ran %d simulations in total, want %d (cold only)", sims, cold.Evaluated)
+	}
+	if coldDur < 100*warmDur {
+		t.Errorf("warm Select is only %.1f× faster than cold (cold %v, warm %v); the floor is 100×",
+			float64(coldDur)/float64(warmDur), coldDur, warmDur)
+	}
+	t.Logf("cold %v, warm %v (%.0f× speedup, %d points)",
+		coldDur, warmDur, float64(coldDur)/float64(warmDur), cold.Evaluated)
+}

@@ -15,6 +15,7 @@ package flashio
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"collio/internal/datatype"
 	"collio/internal/fcoll"
@@ -79,6 +80,23 @@ func (c Config) blockCounts(nprocs int, seed int64) []int {
 // actual volume differs by at most BlockJitter blocks per rank).
 func (c Config) TotalBytes(nprocs int) int64 {
 	return c.BlockBytes() * int64(c.BlocksPerProc) * int64(nprocs) * int64(c.NumVars)
+}
+
+// Params implements workload.Canonical: the layout-determining fields
+// in canonical order. BlockJitter participates — it shapes the
+// per-rank block counts the seeded jitter draws. Pinned by the
+// golden-digest tests in internal/exp — extend, never reorder.
+func (c Config) Params() []workload.Param {
+	return []workload.Param{
+		{Key: "workload", Value: "flashio"},
+		{Key: "nxb", Value: strconv.FormatInt(c.NXB, 10)},
+		{Key: "nyb", Value: strconv.FormatInt(c.NYB, 10)},
+		{Key: "nzb", Value: strconv.FormatInt(c.NZB, 10)},
+		{Key: "bytespercell", Value: strconv.FormatInt(c.BytesPerCell, 10)},
+		{Key: "blocksperproc", Value: strconv.Itoa(c.BlocksPerProc)},
+		{Key: "blockjitter", Value: strconv.Itoa(c.BlockJitter)},
+		{Key: "numvars", Value: strconv.Itoa(c.NumVars)},
+	}
 }
 
 // interned deduplicates per-rank extent lists across Views calls (a

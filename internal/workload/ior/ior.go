@@ -9,6 +9,7 @@ package ior
 
 import (
 	"fmt"
+	"strconv"
 
 	"collio/internal/datatype"
 	"collio/internal/fcoll"
@@ -36,6 +37,17 @@ func (c Config) Name() string { return "ior" }
 // TotalBytes implements workload.Generator.
 func (c Config) TotalBytes(nprocs int) int64 {
 	return c.BlockSize * int64(c.Segments) * int64(nprocs)
+}
+
+// Params implements workload.Canonical: the layout-determining fields
+// in canonical order. Pinned by the golden-digest tests in
+// internal/exp — extend, never reorder.
+func (c Config) Params() []workload.Param {
+	return []workload.Param{
+		{Key: "workload", Value: "ior"},
+		{Key: "blocksize", Value: strconv.FormatInt(c.BlockSize, 10)},
+		{Key: "segments", Value: strconv.Itoa(c.Segments)},
+	}
 }
 
 // interned deduplicates per-rank extent lists across Views calls (a

@@ -15,6 +15,7 @@ package tileio
 
 import (
 	"fmt"
+	"strconv"
 
 	"collio/internal/datatype"
 	"collio/internal/fcoll"
@@ -71,6 +72,21 @@ func Grid(nprocs int) (nx, ny int) {
 // TotalBytes implements workload.Generator.
 func (c Config) TotalBytes(nprocs int) int64 {
 	return c.ElemSize * c.ElemsX * c.ElemsY * int64(nprocs)
+}
+
+// Params implements workload.Canonical: the layout-determining fields
+// in canonical order. The Label participates because it names the
+// configuration in reports and distinguishes the scaled variants.
+// Pinned by the golden-digest tests in internal/exp — extend, never
+// reorder.
+func (c Config) Params() []workload.Param {
+	return []workload.Param{
+		{Key: "workload", Value: "tileio"},
+		{Key: "elemsize", Value: strconv.FormatInt(c.ElemSize, 10)},
+		{Key: "elemsx", Value: strconv.FormatInt(c.ElemsX, 10)},
+		{Key: "elemsy", Value: strconv.FormatInt(c.ElemsY, 10)},
+		{Key: "label", Value: c.Name()},
+	}
 }
 
 // interned deduplicates per-rank extent lists across Views calls: a

@@ -21,6 +21,29 @@ type Generator interface {
 	TotalBytes(nprocs int) int64
 }
 
+// Param is one canonical workload parameter: an ordered key/value pair
+// of the generator's digest encoding.
+type Param struct {
+	Key, Value string
+}
+
+// Canonical is implemented by generators whose configuration can be
+// encoded canonically. The tuner's result cache (internal/tune) keys
+// memoized runs by a SHA-256 digest over, among other fields, the
+// workload parameters — so a generator is cacheable exactly when its
+// parameter list is stable and complete: two generators with equal
+// Params produce identical job views at every (nprocs, seed).
+//
+// Params starts with a ("workload", <kind>) pair and lists every
+// layout-determining field after it in a fixed order. Adding, removing
+// or renaming a field changes the digest, which is the intended cache
+// invalidation; the golden-digest tests in internal/exp pin the
+// encoding of the built-in generators.
+type Canonical interface {
+	Generator
+	Params() []Param
+}
+
 // FillPattern fills b with a deterministic per-rank pattern used by the
 // generators in data mode (cheap, seedable, detects misplaced bytes).
 func FillPattern(b []byte, rank int, seed int64) {
