@@ -50,8 +50,8 @@ race-parallel:
 # equivalence tests — under the race detector. Perf numbers come from
 # bench, concurrency-correctness evidence from race.
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR9.json
-BENCHBASE ?= BENCH_PR8.json
+BENCHOUT ?= BENCH_PR10.json
+BENCHBASE ?= BENCH_PR9.json
 BENCHDIFF = $(if $(wildcard $(BENCHBASE)),-diff $(BENCHBASE),)
 
 bench:
@@ -73,8 +73,8 @@ BENCHFAIL ?= 30
 # covers the short benchmarks the ns/op gate must exclude: PR 4's 32%
 # alloc win cannot silently erode anywhere.
 BENCHALLOCFAIL ?= 5
-BENCHGATE ?= ScaleSweep|ParallelRun|CohortScale|SelectColdVsWarm
-BENCHALLOCGATE ?= RunSeries|TableISweep|ScaleSweep|ParallelRun|CohortScale|SelectColdVsWarm
+BENCHGATE ?= ScaleSweep|ParallelRun|CohortScale|SelectColdVsWarm|HierarchicalSweep
+BENCHALLOCGATE ?= RunSeries|TableISweep|ScaleSweep|ParallelRun|CohortScale|SelectColdVsWarm|HierarchicalSweep
 
 bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff $(BENCHBASE) -fail-above $(BENCHFAIL) -fail-allocs-above $(BENCHALLOCFAIL) -gate '$(BENCHGATE)' -allocs-gate '$(BENCHALLOCGATE)' > /dev/null

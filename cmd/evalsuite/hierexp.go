@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"collio/internal/exp"
+	"collio/internal/fcoll"
+	"collio/internal/metrics"
+	"collio/internal/platform"
+	"collio/internal/sim"
+	"collio/internal/stats"
+	"collio/internal/workload"
+)
+
+// runHierExperiment is E13: the flat two-phase family versus the
+// two-level hierarchical family (node-aware aggregators, leaders-only
+// size exchange, intra-node pre-combine — DESIGN.md §16), compared
+// Table-I-style. For every (platform × workload × np × algorithm) cell
+// both families run on the deterministic platform model and the faster
+// one takes the win; the summary tallies wins per platform and
+// benchmark. Each run also reports its mean per-OST utilisation from
+// the metrics layer (busy time integrated per storage target), which is
+// the mechanism readout: pre-combining changes the message economy in
+// the shuffle, so file-phase utilisation shows whether a win came from
+// the shuffle side rather than from I/O-side luck.
+//
+// Host-affordability gates mirror E12: cells beyond a platform's
+// MaxProcs report n/a, and beyond exactCellNP ranks (where one exact
+// run is minutes of host time) the sweep narrows to the paper's
+// strongest algorithm and skips flashio (a single exact flashio run at
+// 4096 ranks exceeds ten minutes — E12 notes).
+func runHierExperiment(out io.Writer, npList []int, jobs int, verbose *os.File) error {
+	type point struct {
+		pf   platform.Platform
+		wl   string
+		gen  workload.Generator
+		np   int
+		algo fcoll.Algorithm
+	}
+	type outcome struct {
+		flat, hier       exp.Result
+		flatOST, hierOST float64
+		err              error
+	}
+
+	var points []point
+	var naRows [][]string
+	for _, np := range npList {
+		for _, pf := range platform.Platforms() {
+			for _, name := range serveWorkloadNames {
+				if np > pf.MaxProcs() {
+					naRows = append(naRows, []string{pf.Name, name, strconv.Itoa(np), "-",
+						fmt.Sprintf("n/a — np beyond %s's MaxProcs=%d", pf.Name, pf.MaxProcs()),
+						"-", "-", "-", "-", "-"})
+					continue
+				}
+				algos := fcoll.Algorithms
+				if np > exactCellNP {
+					if name == "flashio" {
+						naRows = append(naRows, []string{pf.Name, name, strconv.Itoa(np), "-",
+							"n/a — exact run impractical at this np (E12 notes)",
+							"-", "-", "-", "-", "-"})
+						continue
+					}
+					algos = []fcoll.Algorithm{fcoll.WriteComm2Overlap}
+				}
+				gen, _ := serveWorkload(name)
+				for _, a := range algos {
+					points = append(points, point{pf: pf, wl: name, gen: gen, np: np, algo: a})
+				}
+			}
+		}
+	}
+
+	outcomes := make([]outcome, len(points))
+	exp.ForEach(jobs, len(points), func(i int) {
+		p := points[i]
+		run := func(hier bool) (exp.Result, float64, error) {
+			met := metrics.New(0)
+			res, err := exp.Execute(exp.Spec{
+				Platform:     p.pf.Deterministic(),
+				NProcs:       p.np,
+				Gen:          p.gen,
+				Algorithm:    p.algo,
+				Primitive:    fcoll.TwoSided,
+				Hierarchical: hier,
+				Metrics:      met,
+			})
+			if err != nil {
+				return res, 0, err
+			}
+			return res, meanOSTUtilisation(met, res.Elapsed), nil
+		}
+		var o outcome
+		o.flat, o.flatOST, o.err = run(false)
+		if o.err == nil {
+			o.hier, o.hierOST, o.err = run(true)
+		}
+		outcomes[i] = o
+		if verbose != nil {
+			fmt.Fprintf(verbose, "hier: %s/%s np=%d %v done\n", p.pf.Name, p.wl, p.np, p.algo)
+		}
+	})
+
+	type tallyKey struct{ pf, wl string }
+	flatWins := map[tallyKey]int{}
+	hierWins := map[tallyKey]int{}
+	head := []string{"Platform", "Workload", "np", "Algorithm", "Flat", "Hier", "Δ hier",
+		"Winner", "OST util flat", "OST util hier"}
+	var rows [][]string
+	for i, p := range points {
+		o := outcomes[i]
+		if o.err != nil {
+			rows = append(rows, []string{p.pf.Name, p.wl, strconv.Itoa(p.np), p.algo.String(),
+				fmt.Sprintf("n/a (%v)", o.err), "-", "-", "-", "-", "-"})
+			continue
+		}
+		imp := (float64(o.flat.Elapsed) - float64(o.hier.Elapsed)) / float64(o.flat.Elapsed)
+		winner := "flat"
+		k := tallyKey{p.pf.Name, p.wl}
+		if o.hier.Elapsed < o.flat.Elapsed {
+			winner = "hier"
+			hierWins[k]++
+		} else {
+			flatWins[k]++
+		}
+		rows = append(rows, []string{
+			p.pf.Name, p.wl, strconv.Itoa(p.np), p.algo.String(),
+			o.flat.Elapsed.String(), o.hier.Elapsed.String(),
+			fmt.Sprintf("%+.1f%%", 100*imp), winner,
+			fmt.Sprintf("%.0f%%", 100*o.flatOST), fmt.Sprintf("%.0f%%", 100*o.hierOST),
+		})
+	}
+	rows = append(rows, naRows...)
+	fmt.Fprintln(out, stats.RenderTable(
+		"E13 — flat vs hierarchical two-level collective write (deterministic platforms, two-sided)",
+		head, rows))
+	fmt.Fprintln(out)
+
+	whead := []string{"Platform", "Workload", "Flat wins", "Hier wins"}
+	var wrows [][]string
+	for _, pf := range platform.Platforms() {
+		for _, name := range serveWorkloadNames {
+			k := tallyKey{pf.Name, name}
+			if flatWins[k]+hierWins[k] == 0 {
+				continue
+			}
+			wrows = append(wrows, []string{pf.Name, name,
+				strconv.Itoa(flatWins[k]), strconv.Itoa(hierWins[k])})
+		}
+	}
+	fmt.Fprintln(out, stats.RenderTable(
+		"E13 — number of cells in which a family was fastest (Table-I framing)",
+		whead, wrows))
+	return nil
+}
+
+// meanOSTUtilisation averages busy-time utilisation over the storage
+// targets that served the run: Σ busy_ns / (targets × makespan). The
+// metrics layer records one "ost.<n>.busy_ns" gauge per active target.
+func meanOSTUtilisation(m *metrics.Metrics, elapsed sim.Time) float64 {
+	var busy int64
+	targets := 0
+	for _, g := range m.Gauges() {
+		parts := strings.Split(g.Name(), ".")
+		if len(parts) == 3 && parts[0] == "ost" && parts[2] == "busy_ns" {
+			busy += g.Total()
+			targets++
+		}
+	}
+	if targets == 0 || elapsed <= 0 {
+		return 0
+	}
+	return float64(busy) / (float64(targets) * float64(elapsed))
+}

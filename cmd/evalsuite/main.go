@@ -12,6 +12,7 @@
 //	probe     — one instrumented Tile I/O 1M run (see -probe/-trace-json/-report)
 //	scale     — multi-thousand-rank IOR sweep on ibex (see -ranks; not in "all")
 //	select    — E12: auto-tuner vs fixed-algorithm policies (see -cache-file; not in "all")
+//	hier      — E13: flat vs hierarchical two-level collective write (see -np; not in "all")
 //
 // -serve starts a long-lived auto-tuner query service on stdin instead
 // of running an experiment: `select <platform> <workload> <np>` answers
@@ -56,7 +57,7 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|breakdown|probe|scale|all")
+		which     = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|breakdown|probe|scale|select|hier|all")
 		full      = flag.Bool("full", false, "run the extended sweep (slow)")
 		verbose   = flag.Bool("v", false, "print per-series progress")
 		npFlag    = flag.String("np", "", "comma-separated process counts for fig1/breakdown (default 64,128; -full 256,576)")
@@ -166,7 +167,7 @@ func main() {
 	// of wall-clock that "all" (the laptop-scale paper reproduction)
 	// should not pull in.
 	want := func(name string) bool {
-		if name == "scale" || name == "select" {
+		if name == "scale" || name == "select" || name == "hier" {
 			return *which == name
 		}
 		return *which == "all" || *which == name
@@ -177,6 +178,19 @@ func main() {
 		ran = true
 		if err := runSelectExperiment(os.Stdout, fig1NP, tuneOpts); err != nil {
 			fatalf("select: %v", err)
+		}
+	}
+
+	if want("hier") {
+		ran = true
+		// E13's canonical cells are the paper's 576-rank points plus the
+		// 4096-rank tier; -np overrides both.
+		hierNP := []int{576, 4096}
+		if *npFlag != "" {
+			hierNP = fig1NP
+		}
+		if err := runHierExperiment(os.Stdout, hierNP, *jobs, progress(*verbose)); err != nil {
+			fatalf("hier: %v", err)
 		}
 	}
 
@@ -357,7 +371,7 @@ func main() {
 
 // validExperiments is the closed set of -exp names, in help order.
 var validExperiments = []string{
-	"table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "probe", "scale", "select", "all",
+	"table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "probe", "scale", "select", "hier", "all",
 }
 
 // validateExp rejects unknown -exp names with the full list of valid

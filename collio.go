@@ -222,7 +222,8 @@ type (
 	// encoding — stable across processes and hosts.
 	Digest = exp.Digest
 	// TuneSpace is the design-space grid Select sweeps (algorithm ×
-	// primitive × collective-buffer size × aggregator count).
+	// primitive × collective-buffer size × aggregator count ×
+	// flat/hierarchical family).
 	TuneSpace = tune.Space
 	// TuneOptions shape a Select sweep: grid, parallelism, executor
 	// strategy and on-disk cache path.
@@ -240,6 +241,14 @@ type (
 // NewTuner builds a Tuner, opening (or creating) the on-disk memo
 // cache when opts.CachePath is set.
 func NewTuner(opts TuneOptions) (*Tuner, error) { return tune.New(opts) }
+
+// HierarchicalTuneSpace returns the design-space grid that sweeps the
+// flat and two-level hierarchical families side by side (every paper
+// algorithm, two-sided, both common buffer sizes — 20 points). Select
+// over this space arbitrates per cell whether node-aware pre-combining
+// wins (DESIGN.md §16); flat precedes hierarchical in the canonical
+// order, so a hierarchical winner always won strictly.
+func HierarchicalTuneSpace() TuneSpace { return tune.HierarchicalSpace() }
 
 // Select auto-tunes the collective write for one workload, platform
 // and rank count: it sweeps opts.Space (DefaultSpace when zero)

@@ -86,3 +86,39 @@ func TestFacadeEnumLists(t *testing.T) {
 		t.Fatal("expected the paper's two platforms")
 	}
 }
+
+// TestFacadeSelectHierarchical pins the acceptance contract of the
+// two-level family at the facade: swept over a space that offers both
+// families, collio.Select returns a hierarchical configuration in a
+// cell where pre-combining genuinely wins (crill IOR — the 48-rank
+// nodes make the leaders-only size exchange far cheaper than the full
+// alltoall), and the winner's time strictly beats every flat point in
+// the space (flat precedes hierarchical in canonical order, so a
+// hierarchical Best cannot be a tie).
+func TestFacadeSelectHierarchical(t *testing.T) {
+	space := collio.HierarchicalTuneSpace()
+	// Trim the grid for test budget: the three algorithms that bracket
+	// the trade (sync-bound, write-overlapped, both-overlapped) at the
+	// default buffer size.
+	space.Algorithms = []collio.Algorithm{
+		collio.NoOverlap, collio.WriteOverlap, collio.WriteCommOverlap,
+	}
+	space.BufferSizes = []int64{32 << 20}
+	sel, err := collio.Select(collio.IOR(), collio.Crill(), 96,
+		collio.TuneOptions{Space: space, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Best.Config.Hierarchical {
+		t.Fatalf("expected a hierarchical winner on crill/ior/96, got %+v", sel.Best.Config)
+	}
+	for _, c := range sel.Candidates {
+		if c.Err != nil || c.Config.Hierarchical {
+			continue
+		}
+		if c.Result.Elapsed <= sel.Best.Result.Elapsed {
+			t.Fatalf("flat point %v (%v) not strictly beaten by hierarchical best (%v)",
+				c.Config.Algorithm, c.Result.Elapsed, sel.Best.Result.Elapsed)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Fixtures for pre-combine assembly: a node leader concatenating
+// member payloads into combined per-aggregator messages. Assembly is
+// pure host-side byte movement on the leader's own simulated rank, so
+// it must run on the kernel-owning goroutine — fanning it out to
+// helper goroutines (tempting: the per-aggregator buffers are
+// independent) hands the leader's kernel across a goroutine boundary.
+package kernelshare
+
+import (
+	"sim"
+)
+
+// combineJob is one aggregator's combined-message assembly.
+type combineJob struct {
+	k   *sim.Kernel
+	buf []byte
+}
+
+// badParallelAssembly spawns one goroutine per combined message and
+// captures the leader's kernel to stamp completion times.
+func badParallelAssembly(k *sim.Kernel, jobs []combineJob) {
+	for range jobs {
+		go func() {
+			k.After(1, func() {}) // want `\*sim\.Kernel captured by a function literal started as a goroutine`
+		}()
+	}
+}
+
+// badKernelHandoff hands the leader's kernel to an assembly worker so
+// it can stamp completions itself.
+func badKernelHandoff(j combineJob, ch chan *sim.Kernel) {
+	ch <- j.k // want `\*sim\.Kernel sent on a channel`
+}
+
+// cleanSequentialAssembly is the sanctioned shape: the leader
+// assembles every combined buffer inline and charges the copy once on
+// its own kernel.
+func cleanSequentialAssembly(k *sim.Kernel, jobs []combineJob) {
+	var total sim.Time
+	for _, j := range jobs {
+		total += sim.Time(len(j.buf))
+	}
+	k.After(total, func() {})
+}

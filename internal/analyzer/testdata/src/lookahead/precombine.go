@@ -1,0 +1,46 @@
+// Fixtures for the hierarchical pre-combine scheduling sites: a node
+// leader assembles member payloads and forwards one combined message
+// per aggregator. The safe shapes are same-LP local scheduling for the
+// intra-node legs (member → leader never crosses an LP: block mapping
+// puts a node's ranks on one kernel) and config-latency ScheduleRemote
+// for the combined inter-node forward. The hazard is using the
+// intra-node link class cross-LP: intra latency is far below the
+// partition lookahead, so a combined forward scheduled at it violates
+// the conservative window exactly like any other short delta.
+package lookahead
+
+import (
+	"sim"
+)
+
+// --- flagged: combined forward scheduled at intra-node latency ---
+
+func badCombinedForwardIntraLatency() {
+	part := sim.NewPartition(7, 4, 100)
+	k := part.Kernel(0)
+	// 40 models an intra-node hop; the partition lookahead is the
+	// inter-node minimum, so this cross-LP forward is inside the window.
+	k.ScheduleRemote(2, k.Now()+40, func() {}) // want `ScheduleRemote delta 40 is below the partition lookahead 100`
+}
+
+// --- clean: member payload delivery to the leader stays on one LP ---
+
+func goodIntraDeliveryLocal(k *sim.Kernel, intraLat sim.Time) {
+	// Member and leader share a node and therefore a kernel: local
+	// scheduling at intra-node latency never crosses an LP.
+	k.After(intraLat, func() {})
+}
+
+// --- clean: combined forward at the inter-node config latency ---
+
+func goodCombinedForwardInterLatency(k *sim.Kernel, agg int, interLat sim.Time) {
+	txStart := k.Now()
+	k.ScheduleRemote(agg, txStart+interLat, func() {})
+}
+
+// --- clean: credit send then combined forward, both at config latency ---
+
+func goodCreditThenCombined(k *sim.Kernel, member, agg int, interLat sim.Time) {
+	k.After(1, func() {}) // credit to a same-node member: local
+	k.ScheduleRemote(agg, k.Now()+interLat, func() {})
+}

@@ -7,6 +7,7 @@ import (
 	"collio/internal/fcoll"
 	"collio/internal/platform"
 	"collio/internal/simnet"
+	"collio/internal/workload/tileio"
 )
 
 // benchSpec is a small-but-real collective write: large enough that a
@@ -121,6 +122,41 @@ func BenchmarkCohortScale(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkHierarchicalSweep pins the two-level family against the flat
+// family end to end on the deterministic crill model with the
+// fragmented tileio-256 workload — the regime the pre-combine phase
+// targets (many sub-eager requests per cycle). ns/op on the hier
+// variant is the host cost of the hierarchical plan build plus the
+// leader store-and-forward per run; the hier/flat ratio is the host
+// overhead the family adds. sim-ms/op must be stable run to run
+// (deterministic platform) and lower for hier in this cell when the
+// combine win holds.
+func BenchmarkHierarchicalSweep(b *testing.B) {
+	for _, mode := range []string{"flat", "hier"} {
+		b.Run(mode, func(b *testing.B) {
+			spec := Spec{
+				Platform:     platform.Crill().Deterministic(),
+				NProcs:       192,
+				Gen:          tileio.Tile256(),
+				Algorithm:    fcoll.WriteComm2Overlap,
+				Primitive:    fcoll.TwoSided,
+				Hierarchical: mode == "hier",
+				Seed:         17,
+			}
+			b.ReportAllocs()
+			var simNS int64
+			for i := 0; i < b.N; i++ {
+				m, err := Execute(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simNS = int64(m.Elapsed)
+			}
+			b.ReportMetric(float64(simNS)/1e6, "sim-ms/op")
+		})
 	}
 }
 

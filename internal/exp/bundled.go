@@ -173,7 +173,7 @@ func (b *cohortRun) setupCost(totalExtents int64) sim.Time {
 // path.
 func bundleEligible(spec Spec) bool {
 	pf := spec.Platform
-	return !spec.Read && !spec.DataMode &&
+	return !spec.Read && !spec.DataMode && !spec.Hierarchical &&
 		spec.Primitive == fcoll.TwoSided &&
 		!pf.ProgressThread &&
 		pf.NetNoiseSigma == 0 && pf.StorageNoiseSigma == 0 &&

@@ -45,6 +45,9 @@ type Config struct {
 	Primitive   fcoll.Primitive
 	BufferSize  int64
 	Aggregators int
+	// Hierarchical selects the two-level collective-write family,
+	// mirroring Spec.Hierarchical.
+	Hierarchical bool
 	// Seed drives platform noise. On noise-free platforms it is still
 	// part of the identity (the digest does not prove noise-freedom);
 	// the tuner pins it by normalizing platforms to Deterministic().
@@ -63,7 +66,12 @@ type Config struct {
 // miss instead of aliasing a new-semantics run, which is the cache's
 // invalidation mechanism. The golden-digest test pins the encoding;
 // the field-census tests point here when they fail.
-const configEncodingVersion = 1
+// Version history:
+//
+//	v1 — initial encoding.
+//	v2 — added hierarchical (two-level family selector) and
+//	     platform.combine_per_op (leader merge cost scalar).
+const configEncodingVersion = 2
 
 // workloadSeedPolicy names the fixed-layout seed policy in the
 // encoding: every run generates its job views at the fixed internal
@@ -142,6 +150,7 @@ func (c Config) CanonicalBytes() ([]byte, error) {
 	ki("platform.eager_limit", pf.EagerLimit)
 	kb("platform.progress_thread", pf.ProgressThread)
 	ki("platform.rendezvous_chunk", pf.RendezvousChunk)
+	ki("platform.combine_per_op", int64(pf.CombinePerOp))
 	kv("platform.net_model", netModelName(pf.NetModel))
 
 	// Workload: the generator's own canonical parameter list.
@@ -155,6 +164,7 @@ func (c Config) CanonicalBytes() ([]byte, error) {
 	kv("primitive", c.Primitive.String())
 	ki("buffersize", normalizeBufferSize(c.BufferSize))
 	ki("aggregators", int64(c.Aggregators))
+	kb("hierarchical", c.Hierarchical)
 	kv("seed_policy", workloadSeedPolicy)
 	ki("workload_seed", workloadSeed)
 	ki("seed", c.Seed)
@@ -190,16 +200,17 @@ func (c Config) Digest() (Digest, error) {
 // Config identifies.
 func (c Config) Spec() Spec {
 	return Spec{
-		Platform:    c.Platform,
-		NProcs:      c.NProcs,
-		Gen:         c.Workload,
-		Algorithm:   c.Algorithm,
-		Primitive:   c.Primitive,
-		BufferSize:  c.BufferSize,
-		Aggregators: c.Aggregators,
-		Seed:        c.Seed,
-		Read:        c.Read,
-		Bundle:      c.Bundled,
+		Platform:     c.Platform,
+		NProcs:       c.NProcs,
+		Gen:          c.Workload,
+		Algorithm:    c.Algorithm,
+		Primitive:    c.Primitive,
+		BufferSize:   c.BufferSize,
+		Aggregators:  c.Aggregators,
+		Hierarchical: c.Hierarchical,
+		Seed:         c.Seed,
+		Read:         c.Read,
+		Bundle:       c.Bundled,
 	}
 }
 
@@ -213,16 +224,17 @@ func (s Spec) Config() (Config, error) {
 		return Config{}, fmt.Errorf("exp: generator %T does not implement workload.Canonical; its runs cannot be digested", s.Gen)
 	}
 	return Config{
-		Platform:    s.Platform,
-		Workload:    gen,
-		NProcs:      s.NProcs,
-		Algorithm:   s.Algorithm,
-		Primitive:   s.Primitive,
-		BufferSize:  s.BufferSize,
-		Aggregators: s.Aggregators,
-		Seed:        s.Seed,
-		Read:        s.Read,
-		Bundled:     s.Bundle,
+		Platform:     s.Platform,
+		Workload:     gen,
+		NProcs:       s.NProcs,
+		Algorithm:    s.Algorithm,
+		Primitive:    s.Primitive,
+		BufferSize:   s.BufferSize,
+		Aggregators:  s.Aggregators,
+		Hierarchical: s.Hierarchical,
+		Seed:         s.Seed,
+		Read:         s.Read,
+		Bundled:      s.Bundle,
 	}, nil
 }
 

@@ -34,9 +34,9 @@ func goldenConfig() Config {
 // because every on-disk cache entry keyed under the old encoding is
 // invalidated by design.
 const (
-	goldenDigestCrillIOR    = "0f85614f89e7b3cee54cb300624cdf1d872389671a9e0e45461a8391ee580ee4"
-	goldenDigestIbexTile1M  = "4b3961b504185c4511b0a6470b4aa44722878733a78bf0a79e02fc26737267d5"
-	goldenDigestBundledIbex = "094db2613d1052989073ffc5ece4ca8d56399fe35c66d5e2b423ecbdccbddcd2"
+	goldenDigestCrillIOR    = "16d2a45cea9e03c989fd776dc58f4e5e2c88373ac5496a357458010bb6bb46a9"
+	goldenDigestIbexTile1M  = "4a6b346bcee890b443fb47e1f8643945fe23b76a29a94083be6dea911b9d92ba"
+	goldenDigestBundledIbex = "607df495fb3375ad7af5c820bae8fcf649eca6405b129f455c902aa53a736330"
 )
 
 func TestGoldenDigests(t *testing.T) {
@@ -126,16 +126,17 @@ func TestConfigEncodingCoversPlatform(t *testing.T) {
 // their own blocks, the scalars through named lines).
 func TestConfigEncodingCoversConfig(t *testing.T) {
 	want := map[string]string{
-		"Platform":    "platform.",
-		"Workload":    "workload.",
-		"NProcs":      "nprocs=",
-		"Algorithm":   "algorithm=",
-		"Primitive":   "primitive=",
-		"BufferSize":  "buffersize=",
-		"Aggregators": "aggregators=",
-		"Seed":        "seed=",
-		"Read":        "read=",
-		"Bundled":     "bundled=",
+		"Platform":     "platform.",
+		"Workload":     "workload.",
+		"NProcs":       "nprocs=",
+		"Algorithm":    "algorithm=",
+		"Primitive":    "primitive=",
+		"BufferSize":   "buffersize=",
+		"Aggregators":  "aggregators=",
+		"Hierarchical": "hierarchical=",
+		"Seed":         "seed=",
+		"Read":         "read=",
+		"Bundled":      "bundled=",
 	}
 	typ := reflect.TypeOf(Config{})
 	for i := 0; i < typ.NumField(); i++ {
@@ -157,7 +158,7 @@ func TestConfigEncodingCoversConfig(t *testing.T) {
 			t.Errorf("no %q line in the canonical encoding (field %s)", prefix, f)
 		}
 	}
-	if !bytes.HasPrefix(enc, []byte("collio.Config/1\n")) {
+	if !bytes.HasPrefix(enc, []byte("collio.Config/2\n")) {
 		t.Errorf("encoding does not start with the version line: %q", enc[:20])
 	}
 }
@@ -175,6 +176,7 @@ func TestDigestSensitivity(t *testing.T) {
 		"Primitive":          func(c *Config) { c.Primitive = fcoll.OneSidedFence },
 		"BufferSize":         func(c *Config) { c.BufferSize = 16 << 20 },
 		"Aggregators":        func(c *Config) { c.Aggregators = 2 },
+		"Hierarchical":       func(c *Config) { c.Hierarchical = true },
 		"NProcs":             func(c *Config) { c.NProcs = 65 },
 		"Seed":               func(c *Config) { c.Seed = 7 },
 		"Read":               func(c *Config) { c.Read = true },
@@ -185,6 +187,7 @@ func TestDigestSensitivity(t *testing.T) {
 		"platform-shape":     func(c *Config) { c.Platform.Nodes++ },
 		"platform-bandwidth": func(c *Config) { c.Platform.InterBandwidth *= 2 },
 		"platform-netmodel":  func(c *Config) { c.Platform.NetModel++ },
+		"platform-combine":   func(c *Config) { c.Platform.CombinePerOp++ },
 	}
 	for name, mutate := range mutations {
 		c := goldenConfig()
@@ -213,17 +216,18 @@ func TestDigestSensitivity(t *testing.T) {
 // digest-relevant field, and Config rejects non-Canonical generators.
 func TestSpecConfigRoundTrip(t *testing.T) {
 	spec := Spec{
-		Platform:    platform.Ibex(),
-		NProcs:      96,
-		Gen:         tileio.Tile256(),
-		Algorithm:   fcoll.CommOverlap,
-		Primitive:   fcoll.OneSidedLock,
-		BufferSize:  8 << 20,
-		Aggregators: 3,
-		Seed:        5,
-		Read:        false,
-		Bundle:      true,
-		JRun:        4, // execution strategy: must NOT survive into Config
+		Platform:     platform.Ibex(),
+		NProcs:       96,
+		Gen:          tileio.Tile256(),
+		Algorithm:    fcoll.CommOverlap,
+		Primitive:    fcoll.OneSidedLock,
+		BufferSize:   8 << 20,
+		Aggregators:  3,
+		Hierarchical: true,
+		Seed:         5,
+		Read:         false,
+		Bundle:       true,
+		JRun:         4, // execution strategy: must NOT survive into Config
 	}
 	cfg, err := spec.Config()
 	if err != nil {

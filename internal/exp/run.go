@@ -33,6 +33,13 @@ type Spec struct {
 	// identity (Config digests it) — the tuner sweeps it as a design
 	// axis.
 	Aggregators int
+	// Hierarchical selects the two-level collective-write family:
+	// node-aware aggregator placement, a leaders-only per-cycle size
+	// exchange, and an intra-node pre-combine phase that merges each
+	// node's sub-eager-limit requests into one inter-node message per
+	// aggregator (fcoll.Options.Hierarchical). Two-sided writes only.
+	// Part of the run's identity (Config digests it) and a tuner axis.
+	Hierarchical bool
 	// Seed drives platform noise; the workload's layout uses a fixed
 	// internal seed so every algorithm sees the identical job.
 	Seed int64
@@ -195,10 +202,11 @@ func Execute(spec Spec) (Metrics, error) {
 		}
 	}
 	opts := fcoll.Options{
-		Algorithm:   spec.Algorithm,
-		Primitive:   spec.Primitive,
-		BufferSize:  bufSize,
-		Aggregators: spec.Aggregators,
+		Algorithm:    spec.Algorithm,
+		Primitive:    spec.Primitive,
+		BufferSize:   bufSize,
+		Aggregators:  spec.Aggregators,
+		Hierarchical: spec.Hierarchical,
 	}
 	if parallel {
 		opts.TraceShards = traceShards

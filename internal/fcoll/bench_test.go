@@ -18,7 +18,7 @@ func BenchmarkBuildPlan(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				jv.planCache = nil
-				p := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 1<<20, 0, ContiguousDomains)
+				p := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 1<<20, 0, ContiguousDomains, 0)
 				if p.ncycles == 0 {
 					b.Fatal("empty plan")
 				}

@@ -32,6 +32,11 @@ type exec struct {
 	stageUsed [2]int64
 	packBuf   []byte // pack scratch; reusable because Isend snapshots data
 	peersBuf  []int  // cycleOrigins/cycleTargets scratch
+
+	// Hierarchical-family scratch (hier.go).
+	intraReqs []*mpi.Request // leader: member payload receives in flight
+	intraBufs [][]byte       // leader: member payload buffers (data mode)
+	combBuf   []byte         // leader: combined-message assembly scratch
 }
 
 // Run executes one collective write on rank r. Every rank of the world
@@ -176,7 +181,21 @@ func (ex *exec) setup() {
 		window /= 2
 		ex.slots = 2
 	}
-	ex.p = buildPlan(ex.jv, r.Size(), r.World().Config().RanksPerNode, window, ex.opts.Aggregators, ex.opts.Layout)
+	// The hierarchical routing threshold is the eager limit: below it a
+	// message costs a matching-queue entry and handler work per op at
+	// the aggregator (what pre-combining amortises); at or above it the
+	// rendezvous path is bandwidth-bound and forwarding through the
+	// leader would only serialise it.
+	var hierThr int64
+	if ex.opts.Hierarchical {
+		hierThr = r.World().Config().EagerLimit
+		if hierThr <= 0 {
+			// Always-rendezvous config: nothing routes, but node-aware
+			// aggregator selection and the leaders-only sync still apply.
+			hierThr = 1
+		}
+	}
+	ex.p = buildPlan(ex.jv, r.Size(), r.World().Config().RanksPerNode, window, ex.opts.Aggregators, ex.opts.Layout, hierThr)
 	ex.aggIdx = ex.p.aggIndexOf(r.ID())
 
 	oneSided := ex.opts.Primitive != TwoSided
@@ -229,6 +248,7 @@ type shuffle struct {
 	initAt      sim.Time
 	reqs        []*mpi.Request // two-sided: sends + receives
 	staged      []stagedRecv   // data mode: receives needing scatter into the buffer
+	stagedComb  []stagedComb   // data mode: combined receives needing scatter (hier.go)
 	unpackBytes int64
 	futs        []*sim.Future // future() scratch
 }
@@ -258,6 +278,7 @@ func (ex *exec) shuffleInit(c, slot int) *shuffle {
 	sh.cycle, sh.slot, sh.initAt = c, slot, t0
 	sh.reqs = sh.reqs[:0]
 	sh.staged = sh.staged[:0]
+	sh.stagedComb = sh.stagedComb[:0]
 	sh.unpackBytes = 0
 	ex.stageUsed[slot] = 0
 	if p := ex.opts.Probe; p != nil {
@@ -272,11 +293,25 @@ func (ex *exec) shuffleInit(c, slot int) *shuffle {
 	// MPI_Alltoall of send sizes at the start of every cycle. Besides
 	// its cost, it makes each cycle a de-facto global synchronisation
 	// point — the reason the non-overlapping baseline's shuffle and
-	// file-access phases strictly alternate machine-wide.
-	ex.r.AlltoallSync(8)
+	// file-access phases strictly alternate machine-wide. The
+	// hierarchical family restricts the exchange to node leaders —
+	// log2(nodes) rounds instead of log2(ranks), every hop inter-node
+	// either way — and throttles members with per-cycle credits instead
+	// (memberInit).
+	if h := ex.p.hier; h != nil {
+		if h.isLeader(ex.r.ID()) {
+			ex.r.AlltoallSyncAmong(h.leaders, 8)
+		}
+	} else {
+		ex.r.AlltoallSync(8)
+	}
 	switch ex.opts.Primitive {
 	case TwoSided:
-		ex.twoSidedInit(sh)
+		if ex.p.hier != nil {
+			ex.twoSidedInitHier(sh)
+		} else {
+			ex.twoSidedInit(sh)
+		}
 	case OneSidedFence:
 		tf := ex.r.Now()
 		ex.r.WinFence(ex.wins[slot]) // open the access epoch
@@ -448,6 +483,15 @@ func (ex *exec) unpack(sh *shuffle) {
 		st := &sh.staged[i]
 		var src int64
 		for _, s := range ex.p.rsegsOf(&st.op) {
+			copy(ex.bufs[sh.slot][s.off:s.off+s.len], st.buf[src:src+s.len])
+			src += s.len
+		}
+	}
+	for i := range sh.stagedComb {
+		st := &sh.stagedComb[i]
+		co := &ex.p.hier.combOps[st.op]
+		var src int64
+		for _, s := range ex.p.hier.segsOf(co) {
 			copy(ex.bufs[sh.slot][s.off:s.off+s.len], st.buf[src:src+s.len])
 			src += s.len
 		}

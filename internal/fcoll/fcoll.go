@@ -171,6 +171,18 @@ type Options struct {
 	// Aggregators fixes the aggregator count; 0 selects one aggregator
 	// per compute node (the shape of ompio's automatic selection).
 	Aggregators int
+	// Hierarchical enables the two-level algorithm family: node-aware
+	// aggregator selection (aggregators spread over nodes, always on a
+	// node's leader rank), a per-cycle size exchange restricted to node
+	// leaders, and an intra-node pre-combine phase in which each
+	// member's sub-eager-limit requests are shipped to its node leader
+	// at intra-node bandwidth and merged into one inter-node message
+	// per (node, aggregator) pair. Requests at or above the eager limit
+	// keep the flat direct path (they are bandwidth-bound; an extra
+	// store-and-forward hop would only serialise them). Two-sided
+	// shuffles only. With one rank per node the hierarchy is empty and
+	// execution is bit-identical to the flat family.
+	Hierarchical bool
 	// Layout selects the file-domain strategy (round-robin windows by
 	// default).
 	Layout DomainLayout
@@ -221,6 +233,9 @@ func (o *Options) validate() error {
 	}
 	if o.Aggregators < 0 {
 		return fmt.Errorf("fcoll: negative aggregator count")
+	}
+	if o.Hierarchical && o.Primitive != TwoSided {
+		return fmt.Errorf("fcoll: hierarchical aggregation requires the two-sided primitive, got %v", o.Primitive)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package fcoll
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"collio/internal/datatype"
 )
@@ -65,6 +66,8 @@ type plan struct {
 	recvOps   []recvOp
 	recvIdx   []int32 // len len(aggRanks)*ncycles+1
 	recvSegs  []seg
+
+	hier *hierPlan // non-nil for the hierarchical family (see hier.go)
 }
 
 // sendsAt returns rank r's outbound ops for cycle c.
@@ -107,22 +110,70 @@ func aggregatorRanks(np, rpn, count int) []int {
 	return out
 }
 
+// hierAggregatorRanks is the node-aware aggregator selection of the
+// hierarchical family. Aggregators are spread evenly over *nodes*, not
+// over the rank space: up to one aggregator per node the selection
+// picks evenly-spaced node leaders, beyond that it fills additional
+// slots node by node. With one rank per node it degenerates to exactly
+// aggregatorRanks (node index == rank index), which the
+// flat-equivalence guarantee of the hierarchical family relies on.
+func hierAggregatorRanks(np, rpn, count int) []int {
+	if count <= 0 {
+		// One aggregator per occupied node: identical to the flat
+		// automatic selection, which already lands on node leaders.
+		return aggregatorRanks(np, rpn, 0)
+	}
+	if count > np {
+		count = np
+	}
+	nnodes := (np + rpn - 1) / rpn
+	if count <= nnodes {
+		out := make([]int, count)
+		for i := 0; i < count; i++ {
+			out[i] = (i * nnodes / count) * rpn
+		}
+		return out
+	}
+	// More aggregators than nodes: every node leader plus intra-node
+	// slots filled breadth-first (slot-major) so the extra aggregators
+	// stay spread over nodes. Sorted ascending to keep aggregator index
+	// aligned with file-domain order, as the flat selection does.
+	out := make([]int, 0, count)
+	for slot := 0; slot < rpn && len(out) < count; slot++ {
+		for n := 0; n < nnodes && len(out) < count; n++ {
+			if r := n*rpn + slot; r < np {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // buildPlan computes the full shuffle/write schedule for a window size
 // and layout. It runs host-side once per cache key and is shared by all
 // ranks; the metadata-exchange cost is charged separately in setup (see
-// exec.setup).
-func buildPlan(jv *JobView, np, rpn int, window int64, aggregators int, layout DomainLayout) *plan {
+// exec.setup). hierThr > 0 selects the hierarchical family: aggregators
+// are chosen node-aware and a hierPlan routing sub-threshold member
+// traffic through node leaders is attached (hier.go); 0 is the flat
+// family.
+func buildPlan(jv *JobView, np, rpn int, window int64, aggregators int, layout DomainLayout, hierThr int64) *plan {
 	if jv.planCache == nil {
 		jv.planCache = make(map[planKey]*plan)
 	}
-	key := planKey{window, aggregators, layout}
+	key := planKey{window, aggregators, layout, rpn, hierThr}
 	if p, ok := jv.planCache[key]; ok {
 		return p
 	}
 
 	start, end := jv.Bounds()
 	total := end - start
-	aggRanks := aggregatorRanks(np, rpn, aggregators)
+	var aggRanks []int
+	if hierThr > 0 {
+		aggRanks = hierAggregatorRanks(np, rpn, aggregators)
+	} else {
+		aggRanks = aggregatorRanks(np, rpn, aggregators)
+	}
 	na := len(aggRanks)
 	p := &plan{
 		layout:   layout,
@@ -319,6 +370,9 @@ func buildPlan(jv *JobView, np, rpn int, window int64, aggregators int, layout D
 			recvSegNext = ro.seg0 + ro.nseg
 		}
 	})
+	if hierThr > 0 {
+		p.hier = buildHierPlan(p, rpn, hierThr)
+	}
 	jv.planCache[key] = p
 	return p
 }

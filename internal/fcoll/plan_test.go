@@ -56,7 +56,7 @@ func TestPlanInvariants(t *testing.T) {
 		total := int64(20_000 + trial*7_919)
 		jv := denseRandomView(t, nprocs, total, int64(trial))
 		window := int64(1<<10 + trial*517)
-		p := buildPlan(jv, w.Size(), w.Config().RanksPerNode, window, 0, DomainLayout(trial%2))
+		p := buildPlan(jv, w.Size(), w.Config().RanksPerNode, window, 0, DomainLayout(trial%2), 0)
 
 		// 1. Every rank's bytes are fully scheduled, with local offsets
 		// covering [0, rankSize) exactly.
@@ -297,7 +297,7 @@ func TestPlanMatchesReference(t *testing.T) {
 		total := int64(15_000 + trial*6_271)
 		jv := denseRandomView(t, nprocs, total, int64(100+trial))
 		window := int64(1<<10 + trial*433)
-		p := buildPlan(jv, w.Size(), w.Config().RanksPerNode, window, 0, DomainLayout(trial%2))
+		p := buildPlan(jv, w.Size(), w.Config().RanksPerNode, window, 0, DomainLayout(trial%2), 0)
 		refSends, refRecvs := buildRefPlan(jv, p)
 
 		for r := 0; r < nprocs; r++ {
@@ -373,12 +373,12 @@ func TestAggregatorSelection(t *testing.T) {
 func TestPlanCacheReuse(t *testing.T) {
 	w := planWorld(t, 4, 2)
 	jv := denseRandomView(t, 4, 50_000, 1)
-	p1 := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 4096, 0, RoundRobinWindows)
-	p2 := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 4096, 0, RoundRobinWindows)
+	p1 := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 4096, 0, RoundRobinWindows, 0)
+	p2 := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 4096, 0, RoundRobinWindows, 0)
 	if p1 != p2 {
 		t.Fatal("plan not cached for identical key")
 	}
-	p3 := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 8192, 0, RoundRobinWindows)
+	p3 := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 8192, 0, RoundRobinWindows, 0)
 	if p1 == p3 {
 		t.Fatal("different window shared a plan")
 	}
@@ -387,7 +387,7 @@ func TestPlanCacheReuse(t *testing.T) {
 func TestCycleExtent(t *testing.T) {
 	w := planWorld(t, 2, 2)
 	jv := denseRandomView(t, 2, 10_000, 1)
-	p := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 3000, 1, ContiguousDomains) // single aggregator, window 3000
+	p := buildPlan(jv, w.Size(), w.Config().RanksPerNode, 3000, 1, ContiguousDomains, 0) // single aggregator, window 3000
 	wantLens := []int64{3000, 3000, 3000, 1000}
 	if p.ncycles != 4 {
 		t.Fatalf("ncycles = %d, want 4", p.ncycles)

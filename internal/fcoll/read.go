@@ -37,6 +37,9 @@ func RunRead(r *mpi.Rank, jv *JobView, file Reader, opts Options) (Result, error
 	if opts.Primitive != TwoSided {
 		return Result{}, fmt.Errorf("fcoll: collective read supports only the two-sided primitive, got %v", opts.Primitive)
 	}
+	if opts.Hierarchical {
+		return Result{}, fmt.Errorf("fcoll: collective read does not support hierarchical aggregation")
+	}
 	if len(jv.Ranks) != r.Size() {
 		return Result{}, fmt.Errorf("fcoll: job view has %d ranks, world has %d", len(jv.Ranks), r.Size())
 	}
@@ -115,7 +118,7 @@ func (ex *readExec) setup() {
 		window /= 2
 		ex.slots = 2
 	}
-	ex.p = buildPlan(ex.jv, r.Size(), r.World().Config().RanksPerNode, window, ex.opts.Aggregators, ex.opts.Layout)
+	ex.p = buildPlan(ex.jv, r.Size(), r.World().Config().RanksPerNode, window, ex.opts.Aggregators, ex.opts.Layout, 0)
 	ex.aggIdx = ex.p.aggIndexOf(r.ID())
 	if ex.aggIdx >= 0 && ex.dataMode {
 		for s := 0; s < ex.slots; s++ {

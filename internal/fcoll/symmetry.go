@@ -32,6 +32,13 @@ func BuildSchedule(jv *JobView, np, rpn int, opts Options) (*Schedule, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	if opts.Hierarchical {
+		// The bundled executor replays flat per-rank symmetry; the
+		// hierarchical family's leader/member roles break it, so
+		// hierarchical specs always take the exact per-rank path
+		// (exp.bundleEligible filters them before reaching here).
+		return nil, fmt.Errorf("fcoll: bundled scheduling does not support the hierarchical family")
+	}
 	if len(jv.Ranks) != np {
 		return nil, fmt.Errorf("fcoll: JobView has %d ranks, world has %d", len(jv.Ranks), np)
 	}
@@ -41,7 +48,7 @@ func BuildSchedule(jv *JobView, np, rpn int, opts Options) (*Schedule, error) {
 		// exec.setup.
 		window /= 2
 	}
-	p := buildPlan(jv, np, rpn, window, opts.Aggregators, opts.Layout)
+	p := buildPlan(jv, np, rpn, window, opts.Aggregators, opts.Layout, 0)
 	return &Schedule{p: p, np: np, rpn: rpn}, nil
 }
 
@@ -161,6 +168,15 @@ func DetectCohorts(s *Schedule) *Cohorts {
 		srcNode := r / s.rpn
 		h := uint64(14695981039346656037)
 		h = fnv1a64(h, uint64(r%s.rpn)) // slot within the node
+		// Intra-node role, hashed explicitly: slot 0 is the rank the
+		// hierarchical family promotes to node aggregation leader, so a
+		// leaf and a node-aggregator must never share a cohort even if a
+		// future fingerprint revision stops hashing the raw slot.
+		var role uint64
+		if r%s.rpn == 0 {
+			role = 1
+		}
+		h = fnv1a64(h, role)
 		for c := 0; c < s.p.ncycles; c++ {
 			ops := s.p.sendsAt(r, c)
 			h = fnv1a64(h, uint64(c))

@@ -33,6 +33,8 @@ type planKey struct {
 	window      int64
 	aggregators int
 	layout      DomainLayout
+	rpn         int   // node packing (affects aggregator selection)
+	hierThr     int64 // hierarchical routing threshold; 0 = flat family
 }
 
 // NewJobView wraps per-rank views after validating them: extents must

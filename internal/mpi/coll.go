@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"collio/internal/probe"
 )
@@ -230,19 +231,49 @@ func (r *Rank) AlltoallI64(vals []int64) []int64 {
 // and the global synchronisation matter (the sizes themselves are
 // already known host-side from the shared plan).
 func (r *Rank) AlltoallSync(entryBytes int64) {
+	r.alltoallSyncLadder(r.id, r.w.cfg.NProcs, identityRank, entryBytes)
+}
+
+// AlltoallSyncAmong is AlltoallSync restricted to a sub-group: only the
+// listed ranks participate in the Bruck ladder, with peers resolved
+// through the (ascending) ranks slice. The hierarchical collective-write
+// family uses it for the per-cycle size exchange among node leaders,
+// which replaces the world-wide exchange of the flat family. When ranks
+// covers the whole world the event sequence is bit-identical to
+// AlltoallSync — the degenerate one-rank-per-node topology therefore
+// reproduces flat digests exactly. The caller must be one of ranks.
+func (r *Rank) AlltoallSyncAmong(ranks []int, entryBytes int64) {
+	idx := -1
+	for i, rk := range ranks {
+		if rk == r.id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("mpi: rank %d called AlltoallSyncAmong without being in the group", r.id))
+	}
+	r.alltoallSyncLadder(idx, len(ranks), func(i int) int { return ranks[i] }, entryBytes)
+}
+
+func identityRank(i int) int { return i }
+
+// alltoallSyncLadder is the shared Bruck ladder behind AlltoallSync and
+// AlltoallSyncAmong: idx is the caller's position in a p-member group
+// and rankOf maps group positions to world ranks.
+func (r *Rank) alltoallSyncLadder(idx, p int, rankOf func(int) int, entryBytes int64) {
 	e := r.eng
 	e.enter()
 	defer e.exit()
 	defer r.span(probe.KindCollective, probe.CauseAlltoall)()
-	p := r.w.cfg.NProcs
 	if p == 1 {
 		r.p.Sleep(r.w.cfg.CallOverhead)
 		return
 	}
 	round := 0
 	for k := 1; k < p; k <<= 1 {
-		dst := (r.id + k) % p
-		src := (r.id - k + p) % p
+		dst := rankOf((idx + k) % p)
+		src := rankOf((idx - k + p) % p)
 		n := int64(p/2) * entryBytes
 		if n < entryBytes {
 			n = entryBytes

@@ -72,6 +72,13 @@ type Config struct {
 	// flushes in real implementations), which is why the paper calls
 	// fence "an expensive operation" (§III-B.2a).
 	FenceCost sim.Time
+	// CombinePerOp is the per-fragment software cost a node leader pays
+	// to merge one member request into a combined inter-node message
+	// during the hierarchical pre-combine phase (request-list walk and
+	// header bookkeeping; the byte-moving cost is charged separately at
+	// memory bandwidth). Only the hierarchical algorithm family charges
+	// it, so flat-aggregation runs are unaffected by its value.
+	CombinePerOp sim.Time
 	// ProgressThread, when true, lets protocol handling proceed even
 	// while the owning rank is outside MPI (models an asynchronous
 	// progress thread).
@@ -96,6 +103,7 @@ func DefaultConfig(nprocs, ranksPerNode int) Config {
 		RendezvousChunk: 1 << 20,
 		RendezvousDepth: 4,
 		FenceCost:       250 * sim.Microsecond,
+		CombinePerOp:    400 * sim.Nanosecond,
 	}
 }
 

@@ -81,6 +81,11 @@ type Platform struct {
 	// hardware transfers, required for partitioned execution), 0 keeps
 	// the mpi.DefaultConfig value (1 MiB).
 	RendezvousChunk int64
+	// CombinePerOp is the node leader's per-fragment merge cost in the
+	// hierarchical pre-combine phase (intra-node request aggregation);
+	// zero keeps the mpi.DefaultConfig value. Charged only by the
+	// hierarchical algorithm family, so flat runs never see it.
+	CombinePerOp sim.Time
 
 	// NetModel selects the simnet transfer model: ModelChunked (zero
 	// value, the exact reference) or ModelFlow (fluid max-min fair
@@ -116,6 +121,9 @@ func Crill() Platform {
 		StorageNoiseSigma: 0.08,
 
 		EagerLimit: 512 << 10,
+		// Older AMD hosts: request-list merging at the node leader costs
+		// about one intra-node handoff per fragment.
+		CombinePerOp: 500 * sim.Nanosecond,
 	}
 }
 
@@ -146,6 +154,9 @@ func Ibex() Platform {
 		StorageNoiseSigma: 0.25, // shared storage: heavy variance
 
 		EagerLimit: 512 << 10,
+		// Skylake hosts merge request lists faster than crill's AMD
+		// nodes, in line with the intra-node latency gap.
+		CombinePerOp: 300 * sim.Nanosecond,
 	}
 }
 
@@ -276,6 +287,9 @@ func (pf Platform) mpiConfig(nprocs int) mpi.Config {
 	}
 	if pf.RendezvousChunk != 0 {
 		cfg.RendezvousChunk = pf.RendezvousChunk
+	}
+	if pf.CombinePerOp > 0 {
+		cfg.CombinePerOp = pf.CombinePerOp
 	}
 	cfg.ProgressThread = pf.ProgressThread
 	return cfg

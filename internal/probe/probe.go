@@ -197,6 +197,10 @@ const (
 	CauseSync
 	CauseCollWrite
 	CauseCollRead
+	// CausePreCombine spans the hierarchical family's intra-node
+	// pre-combine phase on a node leader: waiting for member payloads,
+	// merging them, and handing the combined messages to the NIC.
+	CausePreCombine
 )
 
 func (c Cause) String() string {
@@ -259,6 +263,8 @@ func (c Cause) String() string {
 		return "coll-write"
 	case CauseCollRead:
 		return "coll-read"
+	case CausePreCombine:
+		return "pre-combine"
 	}
 	return fmt.Sprintf("Cause(%d)", int(c))
 }

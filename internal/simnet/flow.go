@@ -16,13 +16,18 @@ const (
 	// faithfully. The default.
 	ModelChunked NetModel = iota
 	// ModelFlow approximates bulk transfers with a fluid model:
-	// concurrent flows share the per-node NIC capacities under max-min
+	// concurrent flows share the per-node link capacities under max-min
 	// fairness, and completion times come from an event-driven rate
 	// recomputation at every flow arrival and departure instead of a
-	// per-chunk event ladder. Transfers below Config.FlowMinBytes (and
-	// all intra-node traffic) keep the exact path, where per-message
-	// latency behaviour matters most. Deterministic by construction;
-	// incompatible with LinkNoise and with partitioned execution.
+	// per-chunk event ladder. Inter-node flows share the per-node
+	// tx/rx NIC capacities; intra-node flows share a distinct per-node
+	// ipc capacity (IntraBandwidth/IntraLatency), so shared-memory
+	// contention inside a node — the resource the hierarchical
+	// pre-combine phase rides — is modeled under fluid semantics too.
+	// Transfers below Config.FlowMinBytes keep the exact path, where
+	// per-message latency behaviour matters most. Deterministic by
+	// construction; incompatible with LinkNoise and with partitioned
+	// execution.
 	ModelFlow
 )
 
@@ -69,6 +74,7 @@ type flowMark struct {
 // fluidFlow is one bulk transfer progressing through the fluid model.
 type fluidFlow struct {
 	from, to  int
+	intra     bool // same-node transfer: rides the ipc link class
 	size      float64
 	served    float64 // bytes transmitted as of fluidNet.lastAt
 	rate      float64 // current max-min allocation, bytes/second
@@ -79,10 +85,13 @@ type fluidFlow struct {
 }
 
 // fluidNet is the max-min fair fluid solver attached to a Network under
-// ModelFlow. Links are the per-node tx and rx NIC capacities; every
-// active flow consumes one tx link (its source) and one rx link (its
-// destination). Rates are recomputed by progressive filling whenever a
-// flow arrives or departs, and the next departure/milestone crossing is
+// ModelFlow. Links come in two classes: every inter-node flow consumes
+// one tx link (its source NIC) and one rx link (its destination NIC) at
+// InterBandwidth; every intra-node flow consumes its node's single ipc
+// link at IntraBandwidth — the distinct intra-node link class, so
+// same-node bulk transfers contend with each other but never with the
+// NIC. Rates are recomputed by progressive filling whenever a flow
+// arrives or departs, and the next departure/milestone crossing is
 // scheduled as a single kernel event (invalidated by a generation
 // counter when an earlier arrival forces an earlier recompute).
 //
@@ -92,6 +101,8 @@ type fluidNet struct {
 	k        *sim.Kernel
 	bw       float64 // per-NIC capacity, bytes per second
 	lat      sim.Time
+	ibw      float64 // per-node ipc capacity, bytes per second
+	ilat     sim.Time
 	minBytes int64
 
 	flows   []*fluidFlow // active, in submission order
@@ -100,9 +111,9 @@ type fluidNet struct {
 	pending bool
 
 	// Solver scratch, reused across recomputes.
-	txCount, rxCount []int32
-	txCap, rxCap     []float64
-	txNodes, rxNodes []int32
+	txCount, rxCount, ipcCount []int32
+	txCap, rxCap, ipcCap       []float64
+	txNodes, rxNodes, ipcNodes []int32
 }
 
 func newFluidNet(k *sim.Kernel, cfg Config) *fluidNet {
@@ -114,30 +125,40 @@ func newFluidNet(k *sim.Kernel, cfg Config) *fluidNet {
 		k:        k,
 		bw:       cfg.InterBandwidth,
 		lat:      cfg.InterLatency,
+		ibw:      cfg.IntraBandwidth,
+		ilat:     cfg.IntraLatency,
 		minBytes: min,
 		txCount:  make([]int32, cfg.Nodes),
 		rxCount:  make([]int32, cfg.Nodes),
+		ipcCount: make([]int32, cfg.Nodes),
 		txCap:    make([]float64, cfg.Nodes),
 		rxCap:    make([]float64, cfg.Nodes),
+		ipcCap:   make([]float64, cfg.Nodes),
 	}
 }
 
 // submit adds one flow. injected completes when the last byte has been
-// transmitted; delivered one wire latency later; each mark's future one
-// latency after its byte offset is crossed. marks must ascend.
+// transmitted; delivered one wire latency later (one ipc latency for
+// intra-node flows); each mark's future one latency after its byte
+// offset is crossed. marks must ascend.
 func (fl *fluidNet) submit(from, to int, size int64, injected, delivered *sim.Future, marks []flowMark) {
-	if fl.bw <= 0 {
+	intra := from == to
+	bw, lat := fl.bw, fl.lat
+	if intra {
+		bw, lat = fl.ibw, fl.ilat
+	}
+	if bw <= 0 {
 		// Infinite bandwidth, the sim.Server convention: transmission
 		// is instantaneous, only latency remains.
 		for _, m := range marks {
-			fl.k.After(fl.lat, m.fut.Complete)
+			fl.k.After(lat, m.fut.Complete)
 		}
 		fl.k.After(0, injected.Complete)
-		fl.k.After(fl.lat, delivered.Complete)
+		fl.k.After(lat, delivered.Complete)
 		return
 	}
 	fl.flows = append(fl.flows, &fluidFlow{
-		from: from, to: to, size: float64(size),
+		from: from, to: to, intra: intra, size: float64(size),
 		injected: injected, delivered: delivered, marks: marks,
 	})
 	fl.poke()
@@ -171,6 +192,10 @@ func (fl *fluidNet) advance(now sim.Time) {
 	fl.lastAt = now
 	live := fl.flows[:0]
 	for _, f := range fl.flows {
+		lat := fl.lat
+		if f.intra {
+			lat = fl.ilat
+		}
 		if dt > 0 && f.rate > 0 {
 			f.served += f.rate * dt
 		}
@@ -178,16 +203,16 @@ func (fl *fluidNet) advance(now sim.Time) {
 			f.served = f.size
 		}
 		for f.nextMark < len(f.marks) && f.served >= f.marks[f.nextMark].bytes-flowEps {
-			fl.k.After(fl.lat, f.marks[f.nextMark].fut.Complete)
+			fl.k.After(lat, f.marks[f.nextMark].fut.Complete)
 			f.nextMark++
 		}
 		if f.served >= f.size-flowEps {
 			for f.nextMark < len(f.marks) { // trailing marks at == size
-				fl.k.After(fl.lat, f.marks[f.nextMark].fut.Complete)
+				fl.k.After(lat, f.marks[f.nextMark].fut.Complete)
 				f.nextMark++
 			}
 			f.injected.Complete()
-			fl.k.After(fl.lat, f.delivered.Complete)
+			fl.k.After(lat, f.delivered.Complete)
 			continue
 		}
 		live = append(live, f)
@@ -199,11 +224,21 @@ func (fl *fluidNet) advance(now sim.Time) {
 // progressive filling: repeatedly find the most-contended link, freeze
 // its flows at the bottleneck share, subtract their demand from the
 // other link each uses, and continue with the rest. Scan order (tx
-// links in node order, then rx links; flows in submission order) is
-// fixed, so the allocation is deterministic.
+// links in node order, then rx links, then ipc links; flows in
+// submission order) is fixed, so the allocation is deterministic.
+// Inter-node flows use their source tx and destination rx link;
+// intra-node flows use only their node's ipc link.
 func (fl *fluidNet) recompute() {
-	tx, rx := fl.txNodes[:0], fl.rxNodes[:0]
+	tx, rx, ipc := fl.txNodes[:0], fl.rxNodes[:0], fl.ipcNodes[:0]
 	for _, f := range fl.flows {
+		if f.intra {
+			if fl.ipcCount[f.from] == 0 {
+				ipc = append(ipc, int32(f.from))
+			}
+			fl.ipcCount[f.from]++
+			f.rate = -1 // unfrozen
+			continue
+		}
 		if fl.txCount[f.from] == 0 {
 			tx = append(tx, int32(f.from))
 		}
@@ -214,12 +249,15 @@ func (fl *fluidNet) recompute() {
 		fl.rxCount[f.to]++
 		f.rate = -1 // unfrozen
 	}
-	fl.txNodes, fl.rxNodes = tx, rx
+	fl.txNodes, fl.rxNodes, fl.ipcNodes = tx, rx, ipc
 	for _, n := range tx {
 		fl.txCap[n] = fl.bw
 	}
 	for _, n := range rx {
 		fl.rxCap[n] = fl.bw
+	}
+	for _, n := range ipc {
+		fl.ipcCap[n] = fl.ibw
 	}
 	share := func(cap float64, cnt int32) float64 {
 		if cap < 0 {
@@ -244,6 +282,13 @@ func (fl *fluidNet) recompute() {
 				}
 			}
 		}
+		for _, n := range ipc {
+			if c := fl.ipcCount[n]; c > 0 {
+				if s := share(fl.ipcCap[n], c); s < best {
+					best = s
+				}
+			}
+		}
 		// Freeze every unfrozen flow that touches a link saturating at
 		// the bottleneck share (relative epsilon: equal-share links
 		// saturate together).
@@ -253,6 +298,19 @@ func (fl *fluidNet) recompute() {
 				continue
 			}
 			sat := false
+			if f.intra {
+				if c := fl.ipcCount[f.from]; c > 0 && share(fl.ipcCap[f.from], c) <= lim {
+					sat = true
+				}
+				if !sat {
+					continue
+				}
+				f.rate = best
+				fl.ipcCount[f.from]--
+				fl.ipcCap[f.from] -= best
+				remaining--
+				continue
+			}
 			if c := fl.txCount[f.from]; c > 0 && share(fl.txCap[f.from], c) <= lim {
 				sat = true
 			}

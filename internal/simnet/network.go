@@ -317,7 +317,7 @@ func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer
 	if n.part != nil {
 		return n.sendFlowPartitioned(flow, from, to, size)
 	}
-	if n.fluid != nil && from != to && size >= n.fluid.minBytes {
+	if n.fluid != nil && size >= n.fluid.minBytes {
 		return n.sendFluid(from, to, size, nil)
 	}
 	n.messages++
@@ -348,17 +348,24 @@ func (n *Network) SendFlow(flow interface{}, from, to int, size int64) *Transfer
 	return tr
 }
 
-// sendFluid routes one bulk inter-node transfer through the fluid
-// model: Injected completes when the flow's last byte has been
-// transmitted under max-min fair sharing, Delivered one wire latency
-// later. The flow key is irrelevant here — fair sharing is per-flow by
-// construction — and probe emissions reuse the exact path's hooks (the
-// queue-depth sample reads the idle tx server and reports 0).
+// sendFluid routes one bulk transfer through the fluid model: Injected
+// completes when the flow's last byte has been transmitted under
+// max-min fair sharing, Delivered one latency later (wire latency for
+// inter-node flows, ipc latency for intra-node ones — the distinct
+// intra-node link class). The flow key is irrelevant here — fair
+// sharing is per-flow by construction — and probe emissions reuse the
+// exact path's hooks (the queue-depth sample reads the idle server and
+// reports 0).
 func (n *Network) sendFluid(from, to int, size int64, marks []flowMark) *Transfer {
 	n.messages++
-	n.interBytes += size
 	tr := n.newTransfer(size, from, to)
-	n.observeSend(n.probe, tr, probe.CauseInter, n.nodes[from].tx)
+	if from == to {
+		n.intraBytes += size
+		n.observeSend(n.probe, tr, probe.CauseIntra, n.nodes[from].ipc)
+	} else {
+		n.interBytes += size
+		n.observeSend(n.probe, tr, probe.CauseInter, n.nodes[from].tx)
+	}
 	tr.Injected = n.k.NewFuture()
 	tr.Delivered = n.k.NewFuture()
 	n.fluid.submit(from, to, size, tr.Injected, tr.Delivered, marks)

@@ -42,6 +42,11 @@ type Space struct {
 	// AggregatorCounts are fixed aggregator counts; empty means {0}
 	// (automatic one-per-node selection).
 	AggregatorCounts []int
+	// Hierarchical selects flat vs two-level family variants; empty
+	// means {false} (flat only). Hierarchical points over a one-sided
+	// primitive are infeasible (fcoll rejects them) and are skipped by
+	// Select like any other point-specific failure.
+	Hierarchical []bool
 }
 
 // DefaultSpace is the quick grid: every paper algorithm over the
@@ -65,20 +70,44 @@ func FullSpace() Space {
 	return s
 }
 
+// HierarchicalSpace widens DefaultSpace with the two-level family axis
+// — 20 points: every paper algorithm, two-sided, both buffer sizes,
+// flat and hierarchical. This is the grid behind evalsuite's E13
+// comparison and the smallest space from which Select can return a
+// hierarchical winner.
+func HierarchicalSpace() Space {
+	s := DefaultSpace()
+	s.Hierarchical = []bool{false, true}
+	return s
+}
+
+// Shared read-only default axes for normalized. DefaultSpace hands
+// callers fresh copies they may mutate; normalized runs on every
+// Select (twice per query) and must not allocate, so it points empty
+// axes at these instead.
+var (
+	defaultPrimitives  = []fcoll.Primitive{fcoll.TwoSided}
+	defaultBufferSizes = []int64{16 << 20, 32 << 20}
+	defaultAggregators = []int{0}
+	defaultFamilies    = []bool{false}
+)
+
 // normalized fills empty axes with their defaults.
 func (s Space) normalized() Space {
-	d := DefaultSpace()
 	if len(s.Algorithms) == 0 {
-		s.Algorithms = d.Algorithms
+		s.Algorithms = fcoll.Algorithms
 	}
 	if len(s.Primitives) == 0 {
-		s.Primitives = d.Primitives
+		s.Primitives = defaultPrimitives
 	}
 	if len(s.BufferSizes) == 0 {
-		s.BufferSizes = d.BufferSizes
+		s.BufferSizes = defaultBufferSizes
 	}
 	if len(s.AggregatorCounts) == 0 {
-		s.AggregatorCounts = d.AggregatorCounts
+		s.AggregatorCounts = defaultAggregators
+	}
+	if len(s.Hierarchical) == 0 {
+		s.Hierarchical = defaultFamilies
 	}
 	return s
 }
@@ -86,14 +115,16 @@ func (s Space) normalized() Space {
 // Size returns the number of grid points after normalization.
 func (s Space) Size() int {
 	s = s.normalized()
-	return len(s.Algorithms) * len(s.Primitives) * len(s.BufferSizes) * len(s.AggregatorCounts)
+	return len(s.Algorithms) * len(s.Primitives) * len(s.BufferSizes) *
+		len(s.AggregatorCounts) * len(s.Hierarchical)
 }
 
 // Configs enumerates the grid over a base Config in canonical order —
-// algorithm outermost, aggregator count innermost. The order is part
-// of the tuner's determinism contract: ties on predicted time break
-// toward the earlier point, so a Select winner never depends on
-// completion order or parallelism.
+// algorithm outermost, the flat/hierarchical family innermost. The
+// order is part of the tuner's determinism contract: ties on predicted
+// time break toward the earlier point, so a Select winner never depends
+// on completion order or parallelism. (Flat precedes hierarchical at
+// each point, so a hierarchical winner always won strictly.)
 func (s Space) Configs(base exp.Config) []exp.Config {
 	s = s.normalized()
 	out := make([]exp.Config, 0, s.Size())
@@ -101,12 +132,15 @@ func (s Space) Configs(base exp.Config) []exp.Config {
 		for _, prim := range s.Primitives {
 			for _, bs := range s.BufferSizes {
 				for _, ag := range s.AggregatorCounts {
-					c := base
-					c.Algorithm = alg
-					c.Primitive = prim
-					c.BufferSize = bs
-					c.Aggregators = ag
-					out = append(out, c)
+					for _, hier := range s.Hierarchical {
+						c := base
+						c.Algorithm = alg
+						c.Primitive = prim
+						c.BufferSize = bs
+						c.Aggregators = ag
+						c.Hierarchical = hier
+						out = append(out, c)
+					}
 				}
 			}
 		}
